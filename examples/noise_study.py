@@ -1,0 +1,72 @@
+"""Factor III end-to-end: variability-aware compilation under two noise models.
+
+Part 1 — on a *mildly* varying calibration, compact placement wins: the
+extra routing that quality-chasing costs outweighs per-gate error gains.
+
+Part 2 — on a *damaged* device (a patch of terrible links and readout,
+as after a bad calibration cycle), the noise-aware pipeline routes around
+the patch and wins in ESP and TVD.
+
+Both the ESP-depolarizing substitute and the Pauli-trajectory model are
+reported; they must point the same way.
+
+Run:  python examples/noise_study.py
+"""
+
+from repro.analysis import format_table
+from repro.arch import NoiseModel, mumbai
+from repro.compiler import compile_qaoa
+from repro.problems import QaoaProblem, random_problem_graph
+from repro.sim import QaoaRunner, tvd
+from repro.sim.trajectories import trajectory_probabilities
+
+
+def damaged_calibration(coupling, seed: int = 6) -> NoiseModel:
+    """A device whose central region went bad (where compact placement
+    would naturally live)."""
+    noise = NoiseModel(coupling, seed=seed)
+    bad_patch = {10, 12, 13, 14, 15}
+    for (u, v) in coupling.edges:
+        if u in bad_patch or v in bad_patch:
+            noise.cx_error[(u, v)] = 0.08
+    for q in bad_patch:
+        noise.readout_error[q] = 0.12
+    return noise
+
+
+def compare(problem, coupling, noise, title) -> None:
+    blind = compile_qaoa(coupling, problem.graph, method="hybrid")
+    aware = compile_qaoa(coupling, problem.graph, method="hybrid",
+                         noise=noise, placement="noise")
+    rows = []
+    for name, compiled in (("noise-blind", blind), ("noise-aware", aware)):
+        compiled.validate(coupling, problem.graph)
+        runner = QaoaRunner(problem, compiled, noise=noise, seed=3,
+                            include_readout=True)
+        ideal = runner.ideal_probabilities(0.5, 0.4)
+        esp_noisy = runner.noisy_probabilities(0.5, 0.4)
+        traj = trajectory_probabilities(compiled, problem, 0.5, 0.4,
+                                        noise, n_trajectories=150, seed=4)
+        rows.append([name, compiled.depth(), compiled.gate_count,
+                     noise.esp(compiled.circuit),
+                     tvd(esp_noisy, ideal), tvd(traj, ideal)])
+    print(format_table(
+        ["compilation", "depth", "CX", "ESP", "TVD (ESP)", "TVD (traj)"],
+        rows, title=title))
+    print()
+
+
+def main() -> None:
+    problem = QaoaProblem(random_problem_graph(10, 0.35, seed=9))
+    coupling = mumbai()
+    compare(problem, coupling, NoiseModel(coupling, seed=6),
+            "1. Mild calibration: compact (noise-blind) placement wins")
+    compare(problem, coupling, damaged_calibration(coupling),
+            "2. Damaged central patch: noise-aware routes around it")
+    print("Takeaway: quality-aware placement is a hedge against bad")
+    print("regions, not a free win — which is why the paper folds noise")
+    print("into the greedy component rather than the rigid pattern.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Rediscover the structured patterns with the depth-optimal solver.
+
+This replays the paper's methodology (Section 3): run the A* solver on a
+small clique / bi-clique instance and compare its optimal depth with the
+generalised structured pattern on the same instance.
+
+Run:  python examples/pattern_discovery.py
+"""
+
+from repro.arch import grid, line
+from repro.ata import BipartitePattern, LinePattern, execute_pattern
+from repro.ir.mapping import Mapping
+from repro.problems import clique
+from repro.solver import solve_depth_optimal
+
+
+def line_instance(n: int) -> None:
+    problem = clique(n)
+    result = solve_depth_optimal(line(n), sorted(problem.edges))
+    pattern_circuit, _, _ = execute_pattern(
+        LinePattern(list(range(n))), Mapping.trivial(n), problem.edges)
+    print(f"1x{n} line, clique-{n}: optimal depth {result.depth} "
+          f"({result.nodes_expanded} nodes expanded), "
+          f"generalised pattern depth {pattern_circuit.depth()}")
+
+
+def bipartite_instance(n: int) -> None:
+    rows_a = list(range(n))
+    rows_b = list(range(n, 2 * n))
+    edges = [(a, b) for a in rows_a for b in rows_b]
+    result = solve_depth_optimal(grid(2, n), edges)
+    pattern_circuit, _, _ = execute_pattern(
+        BipartitePattern(rows_a, rows_b), Mapping.trivial(2 * n), edges)
+    print(f"2x{n} grid, bi-clique: optimal depth {result.depth} "
+          f"({result.nodes_expanded} nodes expanded), "
+          f"2xUnit pattern depth {pattern_circuit.depth()}")
+
+
+def main() -> None:
+    print("Replaying the paper's pattern discovery (Section 3):\n")
+    for n in (3, 4, 5):
+        line_instance(n)
+    print()
+    for n in (2, 3):
+        bipartite_instance(n)
+    print("\nThe structured patterns match the solver's optimum on their")
+    print("home instances and generalise to any size with linear depth.")
+
+
+if __name__ == "__main__":
+    main()

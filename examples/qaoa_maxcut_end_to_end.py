@@ -1,0 +1,50 @@
+"""End-to-end QAOA on a noisy Mumbai-like device (Figs 24/25 pipeline).
+
+Compiles a 10-qubit random MaxCut instance with our compiler and the
+2QAN-like baseline, then runs the full variational loop (COBYLA, 8000
+shots per round) on the depolarizing noise substitute.  The compiler that
+produces fewer CX retains more signal and converges to a lower energy.
+
+Run:  python examples/qaoa_maxcut_end_to_end.py
+"""
+
+from repro.arch import NoiseModel, mumbai
+from repro.baselines import compile_twoqan
+from repro.compiler import compile_qaoa
+from repro.problems import QaoaProblem, random_problem_graph
+from repro.sim import QaoaRunner
+
+
+def main() -> None:
+    problem = QaoaProblem(random_problem_graph(10, 0.3, seed=7))
+    coupling = mumbai()
+    noise = NoiseModel(coupling, seed=3)
+    print(f"problem: {problem.graph}, optimum cut = "
+          f"{problem.max_cut_brute_force()}")
+
+    runs = {}
+    for name, compiled in (
+        ("ours", compile_qaoa(coupling, problem.graph, method="hybrid",
+                              noise=noise)),
+        ("2qan", compile_twoqan(coupling, problem.graph)),
+    ):
+        compiled.validate(coupling, problem.graph)
+        runner = QaoaRunner(problem, compiled, noise=noise, shots=8000,
+                            seed=11)
+        result = runner.optimize(max_rounds=30)
+        runs[name] = result
+        print(f"\n{name}: depth={compiled.depth()} cx={compiled.gate_count} "
+              f"ESP={result.esp:.3f}")
+        trace = result.best_so_far()
+        for round_index in range(0, len(trace), 5):
+            print(f"  round {round_index:2d}: best energy "
+                  f"{trace[round_index]: .3f}")
+        print(f"  final best energy {result.best_energy: .3f} "
+              f"(ideal optimum {-problem.max_cut_brute_force():.0f})")
+
+    better = min(runs, key=lambda k: runs[k].best_energy)
+    print(f"\nLower (better) converged energy: {better}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Quickstart: compile a QAOA-MaxCut circuit onto IBM heavy-hex.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import format_table, result_metrics
+from repro.arch import NoiseModel, heavyhex_for
+from repro.compiler import compile_qaoa
+from repro.problems import random_problem_graph
+
+
+def main() -> None:
+    # A 32-vertex random MaxCut instance at density 0.3 (Section 7.1 style).
+    problem = random_problem_graph(32, 0.3, seed=42)
+    coupling = heavyhex_for(problem.n_vertices)
+    noise = NoiseModel(coupling, seed=1)
+    print(f"problem: {problem}")
+    print(f"device:  {coupling}\n")
+
+    rows = []
+    for method in ("greedy", "ata", "hybrid"):
+        result = compile_qaoa(coupling, problem, method=method, noise=noise)
+        result.validate(coupling, problem)  # raises if anything is off
+        m = result_metrics(result, noise)
+        rows.append([method, m["depth"], m["cx"], m["swaps"],
+                     m["esp"], m["time_s"]])
+
+    print(format_table(
+        ["method", "depth", "CX", "SWAPs", "ESP", "compile s"], rows,
+        title="greedy vs rigid-ATA vs hybrid (the paper's 'ours')"))
+    print("\nThe hybrid circuit is never worse than the structured (ATA)")
+    print("solution — Theorem 6.1 — and usually beats both components.")
+
+
+if __name__ == "__main__":
+    main()

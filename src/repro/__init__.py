@@ -1,0 +1,49 @@
+"""repro — reproduction of Jin et al., ASPLOS 2023.
+
+"Exploiting the Regular Structure of Modern Quantum Architectures for
+Compiling and Optimizing Programs with Permutable Operators."
+
+Public API highlights
+---------------------
+
+* :func:`repro.compile_qaoa` — the paper's hybrid compiler (greedy + ATA).
+* :mod:`repro.arch` — line / grid / Sycamore / hexagon / heavy-hex coupling
+  graphs with synthetic noise calibration.
+* :mod:`repro.ata` — structured all-to-all swap-network patterns.
+* :mod:`repro.solver` — the depth-optimal A* solver for small instances.
+* :mod:`repro.baselines` — Paulihedral-, QAIM-, 2QAN-, OLSQ- and
+  SATMAP-like reference compilers.
+* :mod:`repro.sim` — statevector simulation, noise substitution, and the
+  end-to-end QAOA/COBYLA loop.
+"""
+
+__version__ = "1.0.0"
+
+from .exceptions import (ArchitectureError, CompilationError, ReproError,
+                         SolverError, ValidationError)
+from .ir import Circuit, Mapping, Op, validate_compiled
+
+
+def compile_qaoa(*args, **kwargs):
+    """Compile a permutable-operator program (lazy import of the compiler).
+
+    See :func:`repro.compiler.compile_qaoa` for the full signature.
+    """
+    from .compiler import compile_qaoa as _compile
+
+    return _compile(*args, **kwargs)
+
+
+__all__ = [
+    "compile_qaoa",
+    "Circuit",
+    "Mapping",
+    "Op",
+    "validate_compiled",
+    "ReproError",
+    "ValidationError",
+    "ArchitectureError",
+    "CompilationError",
+    "SolverError",
+    "__version__",
+]

@@ -1,0 +1,121 @@
+"""Programmatic experiment sweeps (the library surface behind benchmarks/).
+
+A *sweep* compiles a grid of (architecture, workload, compiler) points and
+collects the paper's metrics, optionally averaging over random seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..arch.coupling import CouplingGraph
+from ..arch.registry import architecture_for
+from ..compiler.result import CompiledResult
+from ..problems.graphs import (ProblemGraph, random_problem_graph,
+                               regular_for_density)
+
+CompilerFn = Callable[[CouplingGraph, ProblemGraph], CompiledResult]
+
+
+@dataclass
+class SweepPoint:
+    """One measured cell of a sweep."""
+
+    arch: str
+    workload: str
+    compiler: str
+    depth: float
+    cx: float
+    swaps: float
+    time_s: float
+    n_seeds: int = 1
+
+    def as_row(self) -> List[object]:
+        return [f"{self.arch} {self.workload}", self.compiler,
+                self.depth, self.cx, self.time_s]
+
+
+@dataclass
+class SweepResult:
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def get(self, arch: str, workload: str, compiler: str) -> SweepPoint:
+        for point in self.points:
+            if (point.arch == arch and point.workload == workload
+                    and point.compiler == compiler):
+                return point
+        raise KeyError((arch, workload, compiler))
+
+    def compilers(self) -> List[str]:
+        seen: List[str] = []
+        for point in self.points:
+            if point.compiler not in seen:
+                seen.append(point.compiler)
+        return seen
+
+    def rows(self, metric: str = "depth") -> List[List[object]]:
+        """One row per (arch, workload), one column per compiler."""
+        compilers = self.compilers()
+        cells: Dict[tuple, Dict[str, float]] = {}
+        order: List[tuple] = []
+        for point in self.points:
+            key = (point.arch, point.workload)
+            if key not in cells:
+                cells[key] = {}
+                order.append(key)
+            cells[key][point.compiler] = getattr(point, metric)
+        return [[f"{arch} {workload}"]
+                + [cells[(arch, workload)].get(c, "") for c in compilers]
+                for arch, workload in order]
+
+
+def make_workload(kind: str, n: int, density: float,
+                  seed: int) -> ProblemGraph:
+    """Paper-style workloads: ``rand`` (G(n,m)) or ``reg`` (regular)."""
+    if kind == "rand":
+        return random_problem_graph(n, density, seed=seed)
+    if kind == "reg":
+        return regular_for_density(n, density, seed=seed)
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
+def run_sweep(
+    arch_kinds: Sequence[str],
+    workloads: Sequence[tuple],
+    compilers: Dict[str, CompilerFn],
+    seeds: Sequence[int] = (0,),
+    validate: bool = True,
+    coupling_factory: Optional[Callable[[str, int], CouplingGraph]] = None,
+) -> SweepResult:
+    """Compile every (arch, workload, compiler) cell, averaged over seeds.
+
+    ``workloads`` entries are ``(kind, n, density)`` tuples; the workload
+    label in the result is ``"{kind}-{n}-{density}"``.
+    """
+    factory = coupling_factory or architecture_for
+    result = SweepResult()
+    for arch in arch_kinds:
+        for kind, n, density in workloads:
+            label = f"{kind}-{n}-{density:g}"
+            coupling = factory(arch, n)
+            accumulators: Dict[str, List[float]] = {
+                name: [0.0, 0.0, 0.0, 0.0] for name in compilers}
+            for seed in seeds:
+                problem = make_workload(kind, n, density, seed)
+                for name, compile_fn in compilers.items():
+                    compiled = compile_fn(coupling, problem)
+                    if validate:
+                        compiled.validate(coupling, problem)
+                    acc = accumulators[name]
+                    acc[0] += compiled.depth()
+                    acc[1] += compiled.gate_count
+                    acc[2] += compiled.swap_count
+                    acc[3] += compiled.wall_time_s
+            for name, acc in accumulators.items():
+                k = len(seeds)
+                result.points.append(SweepPoint(
+                    arch=arch, workload=label, compiler=name,
+                    depth=acc[0] / k, cx=acc[1] / k, swaps=acc[2] / k,
+                    time_s=acc[3] / k, n_seeds=k))
+    return result

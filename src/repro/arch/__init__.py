@@ -1,0 +1,46 @@
+"""Hardware architectures with regular structure (Section 2 / Fig 1).
+
+Families: :func:`line`, :func:`grid`, :func:`sycamore`, :func:`hexagon`,
+:func:`heavyhex` (parametric) and :func:`mumbai` (fixed 27-qubit Falcon).
+All carry metadata the ATA patterns consume.  :class:`NoiseModel` provides
+a synthetic calibration with realistic variability.
+"""
+
+from .coupling import CouplingGraph
+from .draw import draw_architecture
+from .cube import cube, cube_node, plane_snake
+from .grid import grid, grid_node, square_grid_for
+from .heavyhex import heavyhex, heavyhex_for
+from .hexagon import hexagon, hexagon_node, hexagon_pair_path
+from .line import line
+from .mumbai import MUMBAI_EDGES, MUMBAI_PATH, mumbai
+from .noise import NoiseModel, uniform_noise_model
+from .registry import architecture_for
+from .sycamore import sycamore, sycamore_for, sycamore_node, sycamore_pair_path
+
+__all__ = [
+    "CouplingGraph",
+    "draw_architecture",
+    "NoiseModel",
+    "uniform_noise_model",
+    "architecture_for",
+    "line",
+    "cube",
+    "cube_node",
+    "plane_snake",
+    "grid",
+    "grid_node",
+    "square_grid_for",
+    "sycamore",
+    "sycamore_for",
+    "sycamore_node",
+    "sycamore_pair_path",
+    "hexagon",
+    "hexagon_node",
+    "hexagon_pair_path",
+    "heavyhex",
+    "heavyhex_for",
+    "mumbai",
+    "MUMBAI_EDGES",
+    "MUMBAI_PATH",
+]

@@ -1,0 +1,57 @@
+"""3D cubic lattice — the "beyond two dimensions" discussion of Fig 13.
+
+The paper notes that its divide-and-conquer extends to multi-dimensional
+architectures: a 3D lattice splits into planes, planes into rows, rows
+into nodes.  We provide the lattice here and the plane-level composition
+in :mod:`repro.ata.cube_pattern`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .coupling import CouplingGraph
+
+
+def cube_node(x: int, y: int, z: int, nx: int, ny: int) -> int:
+    """Node id: planes are z-slices, row-major inside a plane."""
+    return (z * ny + y) * nx + x
+
+
+def plane_snake(z: int, nx: int, ny: int) -> List[int]:
+    """Boustrophedon Hamiltonian path through plane ``z``."""
+    path: List[int] = []
+    for y in range(ny):
+        xs = range(nx) if y % 2 == 0 else range(nx - 1, -1, -1)
+        path.extend(cube_node(x, y, z, nx, ny) for x in xs)
+    return path
+
+
+def cube(nx: int, ny: int, nz: int) -> CouplingGraph:
+    """An ``nx x ny x nz`` cubic lattice.
+
+    Metadata: ``dims`` and ``planes`` (z-slice node lists).  Within a
+    plane the usual 2D grid edges exist; across planes every site couples
+    to the same site of the next plane.
+    """
+    edges = []
+    for z in range(nz):
+        for y in range(ny):
+            for x in range(nx):
+                node = cube_node(x, y, z, nx, ny)
+                if x + 1 < nx:
+                    edges.append((node, cube_node(x + 1, y, z, nx, ny)))
+                if y + 1 < ny:
+                    edges.append((node, cube_node(x, y + 1, z, nx, ny)))
+                if z + 1 < nz:
+                    edges.append((node, cube_node(x, y, z + 1, nx, ny)))
+    planes = [[cube_node(x, y, z, nx, ny)
+               for y in range(ny) for x in range(nx)]
+              for z in range(nz)]
+    return CouplingGraph(
+        nx * ny * nz,
+        edges,
+        name=f"cube-{nx}x{ny}x{nz}",
+        kind="cube",
+        metadata={"dims": (nx, ny, nz), "planes": planes},
+    )

@@ -1,0 +1,98 @@
+"""ASCII layout rendering for the regular architectures.
+
+Useful for docs, examples and debugging pattern construction — the
+renderings make the unit structure (rows / columns / planes / snake)
+visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .coupling import CouplingGraph
+
+
+def draw_architecture(coupling: CouplingGraph) -> str:
+    """Render a coupling graph's layout as ASCII art."""
+    kind = coupling.kind
+    if kind == "line":
+        return _draw_line(coupling)
+    if kind == "grid":
+        return _draw_grid(coupling)
+    if kind == "sycamore":
+        return _draw_sycamore(coupling)
+    if kind == "hexagon":
+        return _draw_hexagon(coupling)
+    if kind == "heavyhex":
+        return _draw_heavyhex(coupling)
+    return f"<no layout renderer for kind {kind!r}>"
+
+
+def _fmt(q: int) -> str:
+    return f"{q:>3}"
+
+
+def _draw_line(coupling: CouplingGraph) -> str:
+    path = coupling.metadata.get("path", range(coupling.n_qubits))
+    return " — ".join(_fmt(q).strip() for q in path)
+
+
+def _draw_grid(coupling: CouplingGraph) -> str:
+    units = coupling.metadata["units"]
+    lines: List[str] = []
+    for r, unit in enumerate(units):
+        lines.append(" — ".join(_fmt(q) for q in unit))
+        if r + 1 < len(units):
+            lines.append("   ".join(" | " for _ in unit))
+    return "\n".join(lines)
+
+
+def _draw_sycamore(coupling: CouplingGraph) -> str:
+    units = coupling.metadata["units"]
+    lines: List[str] = []
+    for r, unit in enumerate(units):
+        indent = "  " if r % 2 == 1 else ""
+        lines.append(indent + "    ".join(_fmt(q) for q in unit))
+        if r + 1 < len(units):
+            slashes = r"| \ " if r % 2 == 0 else r"/ | "
+            lines.append(("  " if r % 2 == 0 else "  ")
+                         + "   ".join(slashes for _ in unit))
+    return "\n".join(lines)
+
+
+def _draw_hexagon(coupling: CouplingGraph) -> str:
+    rows = coupling.metadata["rows"]
+    cols = coupling.metadata["cols"]
+    units = coupling.metadata["units"]
+    lines: List[str] = []
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            sep = " — " if c + 1 < cols and (r + c) % 2 == 0 else "   "
+            cells.append(_fmt(units[c][r]) + sep)
+        lines.append("".join(cells).rstrip())
+        if r + 1 < rows:
+            lines.append("".join("  |   " for _ in range(cols)).rstrip())
+    return "\n".join(lines)
+
+
+def _draw_heavyhex(coupling: CouplingGraph) -> str:
+    rows = coupling.metadata.get("rows")
+    width = coupling.metadata.get("width")
+    if rows is None or width is None:
+        return "<irregular heavy-hex device; no grid layout>"
+    bridge_between: Dict[tuple, int] = {}
+    for q in range(rows * width, coupling.n_qubits):
+        nbrs = coupling.neighbors(q)
+        top = min(nbrs)
+        bridge_between[(top // width, top % width)] = q
+    lines: List[str] = []
+    for r in range(rows):
+        lines.append(" — ".join(_fmt(r * width + c) for c in range(width)))
+        if r + 1 < rows:
+            cells = []
+            for c in range(width):
+                bridge = bridge_between.get((r, c))
+                cells.append(_fmt(bridge) if bridge is not None else "   ")
+            lines.append("   ".join(cells).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""2D grid architecture (Section 3.1 case study)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .coupling import CouplingGraph
+
+
+def grid_node(r: int, c: int, cols: int) -> int:
+    """Row-major node id."""
+    return r * cols + c
+
+
+def grid(rows: int, cols: int) -> CouplingGraph:
+    """A ``rows x cols`` grid.
+
+    Metadata:
+
+    * ``rows`` / ``cols`` — shape.
+    * ``units`` — one unit per row (Fig 5), as lists of node ids.
+    * ``path`` — boustrophedon (snake) Hamiltonian path, used by the
+      snake-line ablation baseline and by range detection.
+    """
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((grid_node(r, c, cols), grid_node(r, c + 1, cols)))
+            if r + 1 < rows:
+                edges.append((grid_node(r, c, cols), grid_node(r + 1, c, cols)))
+    units: List[List[int]] = [
+        [grid_node(r, c, cols) for c in range(cols)] for r in range(rows)]
+    path: List[int] = []
+    for r in range(rows):
+        cs = range(cols) if r % 2 == 0 else range(cols - 1, -1, -1)
+        path.extend(grid_node(r, c, cols) for c in cs)
+    return CouplingGraph(
+        rows * cols,
+        edges,
+        name=f"grid-{rows}x{cols}",
+        kind="grid",
+        metadata={"rows": rows, "cols": cols, "units": units, "path": path},
+    )
+
+
+def square_grid_for(n_logical: int) -> CouplingGraph:
+    """Smallest near-square grid with at least ``n_logical`` qubits.
+
+    The paper uses "the minimum size of architecture that can handle the
+    corresponding input problem graph" (Section 7.1).
+    """
+    import math
+
+    rows = max(1, int(math.floor(math.sqrt(n_logical))))
+    cols = rows
+    while rows * cols < n_logical:
+        if cols <= rows:
+            cols += 1
+        else:
+            rows += 1
+    return grid(rows, cols)

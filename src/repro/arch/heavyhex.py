@@ -1,0 +1,108 @@
+"""IBM heavy-hex architecture (Fig 1(b), Fig 16).
+
+Layout: ``rows`` horizontal chains of ``width`` qubits, joined by *bridge*
+qubits.  Bridges in the gap below row ``r`` sit at alternating column sets:
+
+* even gaps: columns ``2, 6, 10, ...`` plus the right end ``width-1``;
+* odd gaps:  columns ``0, 4, 8, ...``.
+
+With ``width % 4 == 2`` no row qubit carries two bridges (max degree 3, the
+heavy-hex coordination), and a boustrophedon **longest path** exists: row 0
+left-to-right, end bridge down, row 1 right-to-left, end bridge down, ...
+Only the interior bridges are off-path — exactly the lettered nodes of
+Fig 16.
+
+Metadata attached:
+
+* ``rows`` / ``width`` — shape.
+* ``path`` — the longest path as a node list.
+* ``off_path`` — mapping from each off-path (interior bridge) node to its
+  on-path neighbours.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from .coupling import CouplingGraph
+
+
+def _bridge_columns(gap: int, width: int) -> List[int]:
+    if gap % 2 == 0:
+        interior = list(range(2, width - 1, 4))
+        return interior + [width - 1]
+    return list(range(0, width - 1, 4))
+
+
+def heavyhex(rows: int, width: int = 10) -> CouplingGraph:
+    """Build a heavy-hex lattice; ``width % 4 == 2`` required."""
+    if width % 4 != 2:
+        raise ValueError("heavy-hex width must be ≡ 2 (mod 4)")
+    if rows < 1:
+        raise ValueError("heavy-hex needs at least one row")
+
+    def row_node(r: int, c: int) -> int:
+        """Id of the row qubit at row ``r``, column ``c``."""
+        return r * width + c
+
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(width - 1):
+            edges.append((row_node(r, c), row_node(r, c + 1)))
+
+    next_id = rows * width
+    bridges: Dict[int, Tuple[int, int]] = {}  # bridge node -> (top, bottom)
+    end_bridges: Dict[int, int] = {}  # gap -> bridge node on the snake
+    for gap in range(rows - 1):
+        for c in _bridge_columns(gap, width):
+            bridge = next_id
+            next_id += 1
+            top, bottom = row_node(gap, c), row_node(gap + 1, c)
+            edges.append((bridge, top))
+            edges.append((bridge, bottom))
+            bridges[bridge] = (top, bottom)
+            snake_column = width - 1 if gap % 2 == 0 else 0
+            if c == snake_column:
+                end_bridges[gap] = bridge
+
+    path: List[int] = []
+    for r in range(rows):
+        cs = range(width) if r % 2 == 0 else range(width - 1, -1, -1)
+        path.extend(row_node(r, c) for c in cs)
+        if r in end_bridges:
+            path.append(end_bridges[r])
+
+    on_path = set(path)
+    off_path = {bridge: [q for q in pair]
+                for bridge, pair in bridges.items() if bridge not in on_path}
+
+    return CouplingGraph(
+        next_id,
+        edges,
+        name=f"heavyhex-{rows}x{width}",
+        kind="heavyhex",
+        metadata={
+            "rows": rows,
+            "width": width,
+            "path": path,
+            "off_path": off_path,
+        },
+    )
+
+
+def heavyhex_for(n_logical: int) -> CouplingGraph:
+    """Smallest near-square heavy-hex with at least ``n_logical`` qubits."""
+    width = max(6, int(round(math.sqrt(4 * n_logical / 5))))
+    width += (2 - width % 4) % 4  # round up to ≡ 2 (mod 4)
+    rows = 1
+    while _total_qubits(rows, width) < n_logical:
+        rows += 1
+    return heavyhex(rows, width)
+
+
+def _total_qubits(rows: int, width: int) -> int:
+    total = rows * width
+    for gap in range(rows - 1):
+        total += len(_bridge_columns(gap, width))
+    return total

@@ -1,0 +1,74 @@
+"""Hypothetical hexagon (honeycomb) architecture (Fig 12).
+
+We use the paper's "dragged square layout" (Fig 12(b)): vertical columns are
+the units; every column is a full chain, and horizontal inter-column links
+exist only on alternating rows (``(r + c) % 2 == 0``).  Interior nodes have
+degree 3, the honeycomb coordination.
+
+Every adjacent column pair has a trivial Hamiltonian path (down one column,
+cross the single top link, down the other), which is what the paper uses to
+"connect a line for all nodes in every two adjacent units" (Section 3.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .coupling import CouplingGraph
+
+
+def hexagon_node(r: int, c: int, rows: int) -> int:
+    """Column-major node id (units are columns)."""
+    return c * rows + r
+
+
+def hexagon_pair_path(c: int, rows: int) -> List[int]:
+    """Hamiltonian path through columns ``c`` and ``c+1``.
+
+    Runs bottom-to-top in column ``c``, crosses the top link, then
+    top-to-bottom in column ``c+1``.  The top link ``(0, c)-(0, c+1)``
+    exists when ``c`` is even; otherwise the bottom link is used (its row
+    parity complements the column's).
+    """
+    up = [hexagon_node(r, c, rows) for r in range(rows - 1, -1, -1)]
+    down = [hexagon_node(r, c + 1, rows) for r in range(rows)]
+    if c % 2 == 0:
+        return up + down  # cross at row 0
+    # Links sit at odd rows; cross at the bottom (row rows-1) when it is
+    # linked, otherwise at the highest linked row after walking down.
+    if (rows - 1 + c) % 2 == 0:
+        down_first = [hexagon_node(r, c, rows) for r in range(rows)]
+        up_second = [hexagon_node(r, c + 1, rows) for r in range(rows - 1, -1, -1)]
+        return down_first + up_second
+    raise ValueError(
+        f"no end link between hexagon columns {c} and {c + 1} for rows={rows}")
+
+
+def hexagon(rows: int, cols: int) -> CouplingGraph:
+    """A honeycomb lattice with ``cols`` columns of ``rows`` qubits.
+
+    ``rows`` must be even so that every column pair has an end link (even
+    columns link at row 0, odd columns at row ``rows-1``).
+
+    Metadata: ``rows`` / ``cols`` and ``units`` (one per column).
+    """
+    if rows % 2 != 0:
+        raise ValueError("hexagon requires an even number of rows")
+    edges = []
+    for c in range(cols):
+        for r in range(rows - 1):
+            edges.append((hexagon_node(r, c, rows), hexagon_node(r + 1, c, rows)))
+    for c in range(cols - 1):
+        for r in range(rows):
+            if (r + c) % 2 == 0:
+                edges.append((hexagon_node(r, c, rows),
+                              hexagon_node(r, c + 1, rows)))
+    units = [[hexagon_node(r, c, rows) for r in range(rows)]
+             for c in range(cols)]
+    return CouplingGraph(
+        rows * cols,
+        edges,
+        name=f"hexagon-{rows}x{cols}",
+        kind="hexagon",
+        metadata={"rows": rows, "cols": cols, "units": units},
+    )

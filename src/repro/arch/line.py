@@ -1,0 +1,21 @@
+"""Line (1D chain) architecture — the paper's 1xUnit building block."""
+
+from __future__ import annotations
+
+from .coupling import CouplingGraph
+
+
+def line(n_qubits: int) -> CouplingGraph:
+    """A 1D chain ``0 - 1 - ... - n-1``.
+
+    Metadata: ``path`` — the Hamiltonian path (trivially the identity order),
+    which the line ATA pattern and range detection consume.
+    """
+    edges = [(i, i + 1) for i in range(n_qubits - 1)]
+    return CouplingGraph(
+        n_qubits,
+        edges,
+        name=f"line-{n_qubits}",
+        kind="line",
+        metadata={"path": list(range(n_qubits))},
+    )

@@ -1,0 +1,44 @@
+"""IBM Mumbai-like 27-qubit Falcon device (used for "real machine" runs).
+
+The coupling map is the standard 27-qubit Falcon heavy-hex.  The paper runs
+end-to-end QAOA on the real device; we substitute the same topology with a
+synthetic noise calibration (see DESIGN.md, Substitutions).
+"""
+
+from __future__ import annotations
+
+from .coupling import CouplingGraph
+
+#: Standard IBM Falcon r5.11 (Mumbai / Montreal / ...) coupling map.
+MUMBAI_EDGES = [
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14), (14, 16), (15, 18), (16, 19), (17, 18), (18, 21), (19, 20),
+    (19, 22), (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+]
+
+#: A longest simple path through the device (21 of 27 qubits); found by
+#: inspection and checked in tests.  The remaining six qubits are leaves
+#: hanging off the path.
+MUMBAI_PATH = [6, 7, 4, 1, 2, 3, 5, 8, 11, 14, 13, 12,
+               15, 18, 21, 23, 24, 25, 22, 19, 16]
+
+
+def mumbai() -> CouplingGraph:
+    """The 27-qubit Mumbai-like device with heavy-hex path metadata."""
+    on_path = set(MUMBAI_PATH)
+    adjacency = {q: [] for q in range(27)}
+    for u, v in MUMBAI_EDGES:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    off_path = {
+        q: [p for p in adjacency[q] if p in on_path]
+        for q in range(27) if q not in on_path
+    }
+    return CouplingGraph(
+        27,
+        MUMBAI_EDGES,
+        name="ibm-mumbai",
+        kind="heavyhex",
+        metadata={"path": MUMBAI_PATH, "off_path": off_path},
+    )

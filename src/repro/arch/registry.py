@@ -1,0 +1,61 @@
+"""Architecture factory keyed by family name.
+
+``architecture_for(kind, n_logical)`` returns the smallest instance of a
+family that fits ``n_logical`` qubits — the sizing rule of Section 7.1
+("we use the minimum size of architecture that can handle the corresponding
+input problem graph").
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ArchitectureError
+from .coupling import CouplingGraph
+from .cube import cube
+from .grid import grid, square_grid_for
+from .heavyhex import heavyhex, heavyhex_for
+from .hexagon import hexagon
+from .line import line
+from .mumbai import mumbai
+from .sycamore import sycamore, sycamore_for
+
+_FAMILIES = ("line", "grid", "sycamore", "hexagon", "heavyhex",
+              "mumbai", "cube")
+
+
+def architecture_for(kind: str, n_logical: int) -> CouplingGraph:
+    """Smallest ``kind`` architecture with at least ``n_logical`` qubits."""
+    if kind == "line":
+        return line(n_logical)
+    if kind == "grid":
+        return square_grid_for(n_logical)
+    if kind == "sycamore":
+        return sycamore_for(n_logical)
+    if kind == "hexagon":
+        rows = max(2, int(math.floor(math.sqrt(n_logical))))
+        rows += rows % 2
+        cols = max(1, -(-n_logical // rows))
+        return hexagon(rows, cols)
+    if kind == "heavyhex":
+        return heavyhex_for(n_logical)
+    if kind == "cube":
+        side = max(2, round(n_logical ** (1 / 3)))
+        dims = [side, side, side]
+        axis = 0
+        while dims[0] * dims[1] * dims[2] < n_logical:
+            dims[axis % 3] += 1
+            axis += 1
+        return cube(*dims)
+    if kind == "mumbai":
+        device = mumbai()
+        if n_logical > device.n_qubits:
+            raise ArchitectureError(
+                f"mumbai has 27 qubits, problem needs {n_logical}")
+        return device
+    raise ArchitectureError(
+        f"unknown architecture kind {kind!r}; expected one of {_FAMILIES}")
+
+
+__all__ = ["architecture_for", "line", "grid", "sycamore", "hexagon",
+           "heavyhex", "mumbai"]

@@ -1,0 +1,84 @@
+"""Google Sycamore architecture (rotated square lattice).
+
+We model Sycamore the way the paper's Fig 10 does: horizontal *units* (rows)
+of equal width, adjacent rows joined by a zig-zag of diagonal couplers.
+Concretely, node ``(r, c)`` couples to ``(r+1, c)`` always, plus
+``(r+1, c+1)`` when ``r`` is even and ``(r+1, c-1)`` when ``r`` is odd.
+Interior nodes then have degree 4, exactly the rotated-grid coordination of
+the Sycamore chip, and every adjacent row pair is linked by a zig-zag line
+covering all ``2*cols`` nodes (Fig 10(c)) — the structure both the 1xUnit
+and 2xUnit solutions rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .coupling import CouplingGraph
+
+
+def sycamore_node(r: int, c: int, cols: int) -> int:
+    """Row-major node id for row ``r``, column ``c``."""
+    return r * cols + c
+
+
+def sycamore_pair_path(r: int, cols: int) -> List[int]:
+    """Zig-zag Hamiltonian path through rows ``r`` and ``r+1``.
+
+    For even ``r`` the chain is ``(r+1,0), (r,0), (r+1,1), (r,1), ...``;
+    for odd ``r`` it is ``(r,0), (r+1,0), (r,1), (r+1,1), ...``.  Both use
+    only edges present in :func:`sycamore`.
+    """
+    path: List[int] = []
+    for c in range(cols):
+        if r % 2 == 0:
+            path.append(sycamore_node(r + 1, c, cols))
+            path.append(sycamore_node(r, c, cols))
+        else:
+            path.append(sycamore_node(r, c, cols))
+            path.append(sycamore_node(r + 1, c, cols))
+    return path
+
+
+def sycamore(rows: int, cols: int) -> CouplingGraph:
+    """A ``rows x cols`` Sycamore-style rotated lattice.
+
+    Metadata:
+
+    * ``rows`` / ``cols`` — shape.
+    * ``units`` — one unit per row (Fig 10(a)).
+    """
+    edges = []
+    for r in range(rows - 1):
+        for c in range(cols):
+            edges.append((sycamore_node(r, c, cols),
+                          sycamore_node(r + 1, c, cols)))
+            if r % 2 == 0 and c + 1 < cols:
+                edges.append((sycamore_node(r, c, cols),
+                              sycamore_node(r + 1, c + 1, cols)))
+            if r % 2 == 1 and c - 1 >= 0:
+                edges.append((sycamore_node(r, c, cols),
+                              sycamore_node(r + 1, c - 1, cols)))
+    units = [[sycamore_node(r, c, cols) for c in range(cols)]
+             for r in range(rows)]
+    return CouplingGraph(
+        rows * cols,
+        edges,
+        name=f"sycamore-{rows}x{cols}",
+        kind="sycamore",
+        metadata={"rows": rows, "cols": cols, "units": units},
+    )
+
+
+def sycamore_for(n_logical: int) -> CouplingGraph:
+    """Smallest near-square Sycamore holding ``n_logical`` qubits."""
+    import math
+
+    rows = max(2, int(math.floor(math.sqrt(n_logical))))
+    cols = rows
+    while rows * cols < n_logical:
+        if cols <= rows:
+            cols += 1
+        else:
+            rows += 1
+    return sycamore(rows, cols)

@@ -1,0 +1,129 @@
+"""Pattern executor: turn an abstract ATA schedule into a compiled circuit.
+
+The executor walks a pattern's cycles with a live logical<->physical
+mapping, emits a CPHASE for every ``gate`` opportunity whose logical pair
+still needs one ("skip the gates that are not in the practical circuit",
+Section 5.2), emits every structural SWAP, and stops as soon as no needed
+edges remain — so trailing pattern cycles cost nothing.
+
+Any residual edges a pattern could not cover (possible only for heavy-hex
+on irregular devices) are finished by :func:`greedy_completion`, keeping
+the overall compilation unconditionally correct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..exceptions import CompilationError
+from ..ir.circuit import Circuit
+from ..ir.gates import Op, canonical_edge, canonical_edges
+from ..ir.mapping import Mapping
+from .base import GATE, AtaPattern
+
+
+def execute_pattern(
+    pattern: AtaPattern,
+    initial_mapping: Mapping,
+    edges: Iterable[Tuple[int, int]],
+    gamma: float = 0.0,
+    circuit: Optional[Circuit] = None,
+    n_physical: Optional[int] = None,
+) -> Tuple[Circuit, Mapping, Set[Tuple[int, int]]]:
+    """Run a pattern until all ``edges`` (logical pairs) are executed.
+
+    Returns ``(circuit, final_mapping, residual_edges)``.  ``circuit`` may
+    be passed in to append onto an existing prefix.
+    """
+    mapping = initial_mapping.copy()
+    needed: Set[Tuple[int, int]] = set(canonical_edges(edges))
+    if circuit is None:
+        circuit = Circuit(n_physical or mapping.n_physical)
+    if not needed:
+        return circuit, mapping, needed
+
+    # Remaining problem degree per logical qubit.  A SWAP whose occupants
+    # are both finished (or spare) is semantically inert — every future
+    # gate opportunity involving them is skipped anyway — so it is elided.
+    # Unfinished qubits' trajectories are unaffected: none of *their*
+    # swaps are ever skipped.
+    degree: dict = {}
+    for u, v in needed:
+        degree[u] = degree.get(u, 0) + 1
+        degree[v] = degree.get(v, 0) + 1
+
+    def active(logical) -> bool:
+        return logical is not None and degree.get(logical, 0) > 0
+
+    for cycle in pattern.cycles():
+        if not needed:
+            break
+        used: Set[int] = set()
+        for action, u, v in cycle:
+            if action == GATE:
+                lu, lv = mapping.logical(u), mapping.logical(v)
+                if lu is None or lv is None:
+                    continue
+                pair = canonical_edge(lu, lv)
+                if pair in needed and u not in used and v not in used:
+                    circuit.append(Op.cphase(u, v, gamma, tag=pair))
+                    needed.discard(pair)
+                    degree[lu] -= 1
+                    degree[lv] -= 1
+                    used.add(u)
+                    used.add(v)
+            else:  # structural swap
+                if u in used or v in used:
+                    continue
+                lu, lv = mapping.logical(u), mapping.logical(v)
+                if not active(lu) and not active(lv):
+                    continue  # moving two finished occupants is a no-op
+                circuit.append(Op.swap(u, v))
+                mapping.swap_physical(u, v)
+                used.add(u)
+                used.add(v)
+    return circuit, mapping, needed
+
+
+def greedy_completion(
+    coupling: CouplingGraph,
+    circuit: Circuit,
+    mapping: Mapping,
+    residual: Set[Tuple[int, int]],
+    gamma: float = 0.0,
+) -> None:
+    """Route any residual logical pairs with plain shortest-path SWAPs.
+
+    Mutates ``circuit`` and ``mapping`` in place.  Intended for the rare
+    leftovers of the heavy-hex two-pass schedule; correctness matters here,
+    not optimality.
+    """
+    for pair in sorted(residual):
+        lu, lv = pair
+        pu, pv = mapping.physical(lu), mapping.physical(lv)
+        path = coupling.shortest_path(pu, pv)
+        # Walk lv's occupant down the path until adjacent to lu.
+        for k in range(len(path) - 1, 1, -1):
+            circuit.append(Op.swap(path[k], path[k - 1]))
+            mapping.swap_physical(path[k], path[k - 1])
+        circuit.append(Op.cphase(path[0], path[1], gamma, tag=pair))
+    residual.clear()
+
+
+def compile_with_pattern(
+    coupling: CouplingGraph,
+    pattern: AtaPattern,
+    edges: Iterable[Tuple[int, int]],
+    initial_mapping: Mapping,
+    gamma: float = 0.0,
+) -> Tuple[Circuit, Mapping]:
+    """Pattern execution plus residual completion; always succeeds."""
+    circuit, final_mapping, residual = execute_pattern(
+        pattern, initial_mapping, edges, gamma=gamma,
+        n_physical=coupling.n_qubits)
+    if residual:
+        greedy_completion(coupling, circuit, final_mapping, residual, gamma)
+    if residual:
+        raise CompilationError(f"{len(residual)} edges left unrouted")
+    return circuit, final_mapping

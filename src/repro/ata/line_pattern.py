@@ -1,0 +1,67 @@
+"""The 1xUnit (line) all-to-all pattern — Fig 6 / Fig 7.
+
+The schedule repeats a four-cycle block::
+
+    CPHASE(Q_i, Q_i+1)  for even i        (computation layer)
+    SWAP  (Q_i, Q_i+1)  for odd  i        (swap layer)
+    CPHASE(Q_i, Q_i+1)  for odd  i        (computation layer)
+    SWAP  (Q_i, Q_i+1)  for even i        (swap layer)
+
+After ``ceil(m/2)`` blocks (``2m`` cycles) every pair of the ``m`` positions
+has been adjacent at a computation layer at least once, and — for even
+``m`` — the occupants end exactly reversed (the dotted SWAPs of Fig 6(b)).
+The reversal is what lets two interleaved units exchange their contents, the
+mechanism behind the Sycamore and hexagon compositions.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Sequence
+
+from .base import GATE, SWAP, Action, AtaPattern
+
+
+class LinePattern(AtaPattern):
+    """Odd-even transposition network over a physical chain.
+
+    Parameters
+    ----------
+    path:
+        Physical qubits in chain order; consecutive entries must be coupled
+        (the caller guarantees this — generators attach valid paths).
+    """
+
+    def __init__(self, path: Sequence[int]) -> None:
+        if len(path) != len(set(path)):
+            raise ValueError("line pattern path revisits a qubit")
+        self.path = list(path)
+
+    @property
+    def region(self) -> FrozenSet[int]:
+        return frozenset(self.path)
+
+    @property
+    def reverses(self) -> bool:
+        """Whether the full schedule exactly reverses the occupants."""
+        return len(self.path) % 2 == 0
+
+    def cycles(self) -> Iterator[List[Action]]:
+        path = self.path
+        m = len(path)
+        if m < 2:
+            return
+        n_blocks = (m + 1) // 2
+        for _ in range(n_blocks):
+            yield [(GATE, path[i], path[i + 1]) for i in range(0, m - 1, 2)]
+            yield [(SWAP, path[i], path[i + 1]) for i in range(1, m - 1, 2)]
+            yield [(GATE, path[i], path[i + 1]) for i in range(1, m - 1, 2)]
+            yield [(SWAP, path[i], path[i + 1]) for i in range(0, m - 1, 2)]
+
+    def restrict(self, qubits) -> "LinePattern":
+        """The minimal contiguous sub-chain containing ``qubits``."""
+        positions = [self.path.index(q) for q in qubits]
+        lo, hi = min(positions), max(positions)
+        return LinePattern(self.path[lo:hi + 1])
+
+    def __repr__(self) -> str:
+        return f"LinePattern(m={len(self.path)})"

@@ -1,0 +1,44 @@
+"""Dispatch from a coupling graph to its structured ATA pattern."""
+
+from __future__ import annotations
+
+from ..arch.coupling import CouplingGraph
+from ..exceptions import ArchitectureError
+from .base import AtaPattern
+from .cube_pattern import CubePattern
+from .grid_pattern import GridCliquePattern, OptimizedGridPattern
+from .heavyhex_pattern import HeavyHexPattern
+from .line_pattern import LinePattern
+from .paired_units import HexagonPattern, SycamorePattern
+
+
+def get_pattern(coupling: CouplingGraph) -> AtaPattern:
+    """The architecture-appropriate full-clique ATA pattern."""
+    kind = coupling.kind
+    if kind == "line":
+        return LinePattern(coupling.metadata["path"])
+    if kind == "grid":
+        return OptimizedGridPattern(coupling.metadata["units"])
+    if kind == "sycamore":
+        return SycamorePattern.for_architecture(coupling)
+    if kind == "hexagon":
+        return HexagonPattern.for_architecture(coupling)
+    if kind == "heavyhex":
+        return HeavyHexPattern.for_architecture(coupling)
+    if kind == "cube":
+        return CubePattern.for_architecture(coupling)
+    path = coupling.metadata.get("path")
+    if path and len(path) == coupling.n_qubits:
+        return LinePattern(path)  # snake fallback for any traversable device
+    raise ArchitectureError(
+        f"no structured ATA pattern for architecture kind {kind!r}")
+
+
+def snake_pattern(coupling: CouplingGraph) -> LinePattern:
+    """The snake-line ablation baseline: ignore structure, run the line
+    pattern over a full Hamiltonian path (grid/line only)."""
+    path = coupling.metadata.get("path")
+    if not path or len(path) != coupling.n_qubits:
+        raise ArchitectureError(
+            f"{coupling.name} has no full Hamiltonian path for a snake")
+    return LinePattern(path)

@@ -1,0 +1,144 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro compile --arch heavyhex --qubits 32 --density 0.3
+    python -m repro compile --arch grid --qubits 16 --method ata --qasm out.qasm
+    python -m repro compare --arch sycamore --qubits 32 --density 0.3
+    python -m repro clique --arch grid --qubits 25
+    python -m repro info --arch heavyhex --qubits 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import format_table, result_metrics
+from .arch import NoiseModel, architecture_for
+from .compiler import compile_qaoa
+from .ir.qasm import to_qasm
+from .problems import clique, random_problem_graph
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro`` (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regularity-aware compilation for programs with "
+                    "permutable operators (ASPLOS 2023 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--arch", default="heavyhex",
+                       choices=["line", "grid", "sycamore", "hexagon",
+                                "heavyhex", "mumbai", "cube"])
+        p.add_argument("--qubits", type=int, default=32)
+        p.add_argument("--seed", type=int, default=0)
+
+    compile_p = sub.add_parser("compile", help="compile one instance")
+    add_common(compile_p)
+    compile_p.add_argument("--density", type=float, default=0.3)
+    compile_p.add_argument("--method", default="hybrid",
+                           choices=["hybrid", "greedy", "ata"])
+    compile_p.add_argument("--gamma", type=float, default=0.0)
+    compile_p.add_argument("--noise", action="store_true",
+                           help="use a synthetic noise calibration")
+    compile_p.add_argument("--qasm", metavar="FILE",
+                           help="write the compiled circuit as OpenQASM 2.0")
+
+    compare_p = sub.add_parser("compare",
+                               help="compare all compilation methods")
+    add_common(compare_p)
+    compare_p.add_argument("--density", type=float, default=0.3)
+
+    clique_p = sub.add_parser("clique",
+                              help="compile the all-to-all special case")
+    add_common(clique_p)
+
+    info_p = sub.add_parser("info", help="describe an architecture")
+    add_common(info_p)
+    return parser
+
+
+def _cmd_compile(args) -> int:
+    problem = random_problem_graph(args.qubits, args.density, seed=args.seed)
+    coupling = architecture_for(args.arch, args.qubits)
+    noise = NoiseModel(coupling, seed=args.seed) if args.noise else None
+    result = compile_qaoa(coupling, problem, method=args.method,
+                          noise=noise, gamma=args.gamma)
+    result.validate(coupling, problem)
+    metrics = result_metrics(result, noise)
+    print(f"problem:  {problem}")
+    print(f"device:   {coupling}")
+    print(f"method:   {result.method}")
+    for key, value in metrics.items():
+        print(f"{key:>8}: {value:.4g}" if isinstance(value, float)
+              else f"{key:>8}: {value}")
+    if args.qasm:
+        with open(args.qasm, "w") as handle:
+            handle.write(to_qasm(result.circuit,
+                                 comment=f"{problem.name} on {coupling.name}"))
+        print(f"qasm written to {args.qasm}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    problem = random_problem_graph(args.qubits, args.density, seed=args.seed)
+    coupling = architecture_for(args.arch, args.qubits)
+    rows = []
+    for method in ("greedy", "ata", "hybrid"):
+        result = compile_qaoa(coupling, problem, method=method)
+        result.validate(coupling, problem)
+        rows.append([method, result.depth(), result.gate_count,
+                     result.swap_count, result.wall_time_s])
+    print(format_table(["method", "depth", "CX", "SWAPs", "seconds"], rows,
+                       title=f"{problem.name} on {coupling.name}"))
+    return 0
+
+
+def _cmd_clique(args) -> int:
+    coupling = architecture_for(args.arch, args.qubits)
+    problem = clique(args.qubits)
+    result = compile_qaoa(coupling, problem, method="ata")
+    result.validate(coupling, problem)
+    print(f"clique-{args.qubits} on {coupling.name}: "
+          f"depth={result.depth()} ({result.depth() / args.qubits:.2f} per "
+          f"qubit), cx={result.gate_count}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    coupling = architecture_for(args.arch, args.qubits)
+    print(f"name:      {coupling.name}")
+    print(f"kind:      {coupling.kind}")
+    print(f"qubits:    {coupling.n_qubits}")
+    print(f"couplings: {coupling.n_edges}")
+    print(f"max degree:{coupling.max_degree():>2}")
+    print(f"diameter:  {int(coupling.distance_matrix.max())}")
+    for key in ("rows", "cols", "width", "dims"):
+        if key in coupling.metadata:
+            print(f"{key}: {coupling.metadata[key]}")
+    from .arch.draw import draw_architecture
+    print()
+    print(draw_architecture(coupling))
+    return 0
+
+
+_COMMANDS = {
+    "compile": _cmd_compile,
+    "compare": _cmd_compare,
+    "clique": _cmd_clique,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The hybrid compiler — Sections 5 and 6 (Fig 18)."""
+
+from .framework import compile_qaoa
+from .greedy import GreedyTrace, Snapshot, greedy_compile
+from .mapping import (degree_placement, noise_aware_placement,
+                      quadratic_placement, trivial_placement)
+from .prediction import ata_suffix, detect_ranges
+from .result import CompiledResult
+from .scheduling import select_gates
+from .selector import Candidate, cost_f, make_candidate, score_candidates
+from .swap_insertion import select_swaps, swap_benefit
+
+__all__ = [
+    "compile_qaoa",
+    "CompiledResult",
+    "greedy_compile",
+    "GreedyTrace",
+    "Snapshot",
+    "ata_suffix",
+    "detect_ranges",
+    "select_gates",
+    "select_swaps",
+    "swap_benefit",
+    "cost_f",
+    "score_candidates",
+    "make_candidate",
+    "Candidate",
+    "trivial_placement",
+    "degree_placement",
+    "quadratic_placement",
+    "noise_aware_placement",
+]

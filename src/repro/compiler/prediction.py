@@ -1,0 +1,110 @@
+"""The ATA pattern-prediction component — Section 6.3.
+
+Given the current mapping and the remaining problem edges, produce the
+circuit suffix that finishes everything by following the structured ATA
+pattern:
+
+* **Range detector** — split the remaining problem graph into connected
+  components, map each to the minimal structured sub-region of the
+  architecture (via ``pattern.restrict``), and merge regions that overlap.
+  Disjoint regions run their patterns in parallel (ASAP layering overlaps
+  them automatically).
+* **Pattern generator** — execute each region's pattern from the current
+  mapping, skipping absent gates and stopping at the last needed one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..ata.base import AtaPattern
+from ..ata.executor import execute_pattern, greedy_completion
+from ..ir.circuit import Circuit
+from ..ir.mapping import Mapping
+from ..problems.graphs import ProblemGraph
+
+
+def detect_ranges(
+    pattern: AtaPattern,
+    mapping: Mapping,
+    remaining: Iterable[Tuple[int, int]],
+) -> List[Tuple[AtaPattern, Set[Tuple[int, int]]]]:
+    """Regions (restricted patterns) with their edge groups, Fig 19 style."""
+    remaining = list(remaining)
+    if not remaining:
+        return []
+    components = ProblemGraph(
+        1 + max(q for e in remaining for q in e), remaining
+    ).connected_components()
+
+    groups: List[Set[int]] = [set(c) for c in components]
+    regions: List[AtaPattern] = [
+        pattern.restrict({mapping.physical(v) for v in group})
+        for group in groups]
+
+    # Merge overlapping regions until a fixpoint.
+    merged = True
+    while merged:
+        merged = False
+        for i in range(len(regions)):
+            for j in range(i + 1, len(regions)):
+                if regions[i].region & regions[j].region:
+                    groups[i] |= groups[j]
+                    del groups[j], regions[j]
+                    regions[i] = pattern.restrict(
+                        {mapping.physical(v) for v in groups[i]})
+                    merged = True
+                    break
+            if merged:
+                break
+
+    edge_groups: List[Set[Tuple[int, int]]] = []
+    for group in groups:
+        edge_groups.append({e for e in remaining if e[0] in group})
+    return list(zip(regions, edge_groups))
+
+
+def ata_suffix(
+    coupling: CouplingGraph,
+    pattern: AtaPattern,
+    mapping: Mapping,
+    remaining: Iterable[Tuple[int, int]],
+    gamma: float = 0.0,
+    use_range_detection: bool = True,
+    circuit: Optional[Circuit] = None,
+) -> Tuple[Circuit, Mapping]:
+    """Finish the remaining edges by following the structured pattern.
+
+    Returns the (possibly extended) circuit and the final mapping.  Ops for
+    disjoint regions are appended sequentially; ASAP layering parallelises
+    them, so the reported depth equals the max over regions.
+    """
+    if circuit is None:
+        circuit = Circuit(coupling.n_qubits)
+    mapping = mapping.copy()
+    remaining = set(remaining)
+    if not remaining:
+        return circuit, mapping
+
+    if use_range_detection:
+        plan = detect_ranges(pattern, mapping, remaining)
+    else:
+        plan = [(pattern, set(remaining))]
+
+    for region_pattern, edges in plan:
+        _, region_mapping, residual = execute_pattern(
+            region_pattern, mapping, edges, gamma=gamma, circuit=circuit)
+        _absorb(mapping, region_mapping, region_pattern.region)
+        if residual:
+            greedy_completion(coupling, circuit, mapping, residual, gamma)
+    return circuit, mapping
+
+
+def _absorb(target: Mapping, source: Mapping, region) -> None:
+    """Copy region-local occupancy changes from ``source`` into ``target``."""
+    for physical in region:
+        occupant = source.phys_to_log[physical]
+        target.phys_to_log[physical] = occupant
+        if occupant is not None:
+            target.log_to_phys[occupant] = physical

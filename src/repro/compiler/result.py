@@ -1,0 +1,52 @@
+"""Compilation result container shared by the compiler and all baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..arch.coupling import CouplingGraph
+from ..arch.noise import NoiseModel
+from ..ir.circuit import Circuit
+from ..ir.mapping import Mapping
+from ..ir.validate import ValidationReport, validate_compiled
+from ..problems.graphs import ProblemGraph
+
+
+@dataclass
+class CompiledResult:
+    """A compiled circuit plus everything needed to check and score it."""
+
+    circuit: Circuit
+    initial_mapping: Mapping
+    method: str
+    wall_time_s: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def depth(self) -> int:
+        return self.circuit.depth()
+
+    def cx_count(self, unify: bool = True) -> int:
+        return self.circuit.cx_count(unify=unify)
+
+    @property
+    def swap_count(self) -> int:
+        return self.circuit.swap_count
+
+    @property
+    def gate_count(self) -> int:
+        """Two-qubit CX count with gate unification (the paper's metric)."""
+        return self.cx_count(unify=True)
+
+    def esp(self, noise: NoiseModel) -> float:
+        return noise.esp(self.circuit)
+
+    def validate(self, coupling: CouplingGraph,
+                 problem: ProblemGraph) -> ValidationReport:
+        return validate_compiled(self.circuit, coupling.edges,
+                                 self.initial_mapping, problem.edges)
+
+    def summary(self) -> str:
+        return (f"{self.method}: depth={self.depth()} "
+                f"cx={self.gate_count} swaps={self.swap_count} "
+                f"time={self.wall_time_s:.3f}s")

@@ -1,0 +1,70 @@
+"""Gate-scheduling sub-module of the greedy component — Section 6.2.
+
+"Each hardware-compliant gate is a node.  Each edge represents if they
+share a qubit or if they have non-trivial crosstalk.  Then we try to color
+the graph and choose the color that has maximal number of gates."
+
+Greedy colouring is used (the classic linear-time heuristic); with no
+noise model only qubit-sharing conflicts exist and the result degenerates
+to a maximal independent set of gates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.noise import NoiseModel
+from ..ir.gates import canonical_edge
+
+#: (physical u, physical v, logical pair) for a hardware-compliant gate.
+ExecutableGate = Tuple[int, int, Tuple[int, int]]
+
+
+def select_gates(
+    executable: Sequence[ExecutableGate],
+    noise: Optional[NoiseModel] = None,
+    crosstalk_aware: bool = True,
+) -> List[ExecutableGate]:
+    """Choose a conflict-free subset of gates for this cycle.
+
+    Conflicts: shared qubits always; crosstalk pairs when a noise model is
+    supplied and ``crosstalk_aware``.  The largest colour class of a greedy
+    colouring is returned.
+    """
+    if not executable:
+        return []
+    n = len(executable)
+    conflicts: List[List[int]] = [[] for _ in range(n)]
+    qubit_users: Dict[int, List[int]] = {}
+    for index, (u, v, _) in enumerate(executable):
+        for q in (u, v):
+            for other in qubit_users.get(q, ()):
+                conflicts[index].append(other)
+                conflicts[other].append(index)
+            qubit_users.setdefault(q, []).append(index)
+    if noise is not None and crosstalk_aware:
+        pairs = noise.crosstalk_pairs
+        for i in range(n):
+            ei = canonical_edge(executable[i][0], executable[i][1])
+            for j in range(i + 1, n):
+                ej = canonical_edge(executable[j][0], executable[j][1])
+                if tuple(sorted((ei, ej))) in pairs:
+                    conflicts[i].append(j)
+                    conflicts[j].append(i)
+
+    # Greedy colouring in decreasing-conflict order.
+    order = sorted(range(n), key=lambda i: -len(conflicts[i]))
+    colour: Dict[int, int] = {}
+    for node in order:
+        taken = {colour[other] for other in conflicts[node]
+                 if other in colour}
+        c = 0
+        while c in taken:
+            c += 1
+        colour[node] = c
+
+    classes: Dict[int, List[int]] = {}
+    for node, c in colour.items():
+        classes.setdefault(c, []).append(node)
+    best = max(classes.values(), key=len)
+    return [executable[i] for i in sorted(best)]

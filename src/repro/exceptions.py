@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ValidationError(ReproError):
+    """A compiled circuit violates a hardware or semantic constraint."""
+
+
+class ArchitectureError(ReproError):
+    """An architecture was constructed or queried inconsistently."""
+
+
+class CompilationError(ReproError):
+    """The compiler could not produce a valid circuit."""
+
+
+class SolverError(ReproError):
+    """The depth-optimal solver failed (e.g. exceeded its node budget)."""

@@ -1,0 +1,43 @@
+"""Circuit intermediate representation.
+
+The IR layer is deliberately small: slotted :class:`~repro.ir.gates.Op`
+values inside a :class:`~repro.ir.circuit.Circuit`, a bidirectional
+:class:`~repro.ir.mapping.Mapping`, a decomposer to the CX basis
+(:mod:`repro.ir.decompose`) and the semantic validator
+(:mod:`repro.ir.validate`).
+"""
+
+from .circuit import Circuit, circuit_from_layers
+from .draw import draw
+from .qasm import from_qasm, to_qasm
+from .serialize import (load_result, save_result)
+from .decompose import count_cx, decompose_to_cx
+from .gates import (CPHASE, CX, H, PHASE, RX, RZ, SWAP, Op, canonical_edge,
+                    canonical_edges)
+from .mapping import Mapping
+from .validate import ValidationReport, validate_compiled
+
+__all__ = [
+    "Circuit",
+    "circuit_from_layers",
+    "draw",
+    "to_qasm",
+    "from_qasm",
+    "save_result",
+    "load_result",
+    "count_cx",
+    "decompose_to_cx",
+    "Op",
+    "Mapping",
+    "ValidationReport",
+    "validate_compiled",
+    "canonical_edge",
+    "canonical_edges",
+    "CPHASE",
+    "CX",
+    "H",
+    "PHASE",
+    "RX",
+    "RZ",
+    "SWAP",
+]

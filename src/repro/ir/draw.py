@@ -1,0 +1,50 @@
+"""ASCII circuit rendering for debugging and examples.
+
+Renders the ASAP cycle schedule, one column per cycle::
+
+    q0: ─●──x─────
+    q1: ─●──x──●──
+    q2: ───────●──
+
+``●`` marks a CPHASE endpoint, ``x`` a SWAP endpoint, letters mark
+single-qubit gates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .circuit import Circuit
+from .gates import CPHASE, CX, H, PHASE, RX, RZ, SWAP
+
+_SYMBOLS = {H: "H", RX: "X", RZ: "Z", PHASE: "P"}
+
+
+def draw(circuit: Circuit, max_cycles: int = 60) -> str:
+    """Render the circuit; wide circuits are truncated with an ellipsis."""
+    layers = circuit.layers()
+    truncated = len(layers) > max_cycles
+    layers = layers[:max_cycles]
+    n = circuit.n_qubits
+    grid: List[List[str]] = [["─"] * len(layers) for _ in range(n)]
+    for cycle, layer in enumerate(layers):
+        for op in layer:
+            if op.kind == CPHASE:
+                for q in op.qubits:
+                    grid[q][cycle] = "●"
+            elif op.kind == SWAP:
+                for q in op.qubits:
+                    grid[q][cycle] = "x"
+            elif op.kind == CX:
+                control, target = op.qubits
+                grid[control][cycle] = "●"
+                grid[target][cycle] = "+"
+            else:
+                grid[op.qubits[0]][cycle] = _SYMBOLS.get(op.kind, "?")
+    width = len(str(n - 1))
+    rows = []
+    for q in range(n):
+        body = "──".join(grid[q])
+        suffix = "…" if truncated else ""
+        rows.append(f"q{q:<{width}}: ─{body}─{suffix}")
+    return "\n".join(rows)

@@ -1,0 +1,110 @@
+"""OpenQASM 2.0 export.
+
+Compiled circuits can be handed to any external toolchain (Qiskit, tket,
+simulators) for cross-validation.  The abstract gate set maps onto the
+``qelib1`` standard library:
+
+* ``cphase(g)`` -> ``cp(g)`` (emitted via its standard cu1 name)
+* ``swap``      -> ``swap``
+* ``cx/h/rx/rz/p`` -> themselves (``p`` as ``u1``)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .circuit import Circuit
+from .gates import CPHASE, CX, H, PHASE, RX, RZ, SWAP
+
+
+def to_qasm(circuit: Circuit, measure: bool = False,
+            comment: Optional[str] = None) -> str:
+    """Serialise a circuit to an OpenQASM 2.0 program string."""
+    lines: List[str] = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append(f"// {row}")
+    lines.append("OPENQASM 2.0;")
+    lines.append('include "qelib1.inc";')
+    lines.append(f"qreg q[{circuit.n_qubits}];")
+    if measure:
+        lines.append(f"creg c[{circuit.n_qubits}];")
+    for op in circuit:
+        lines.append(_op_line(op))
+    if measure:
+        lines.append("measure q -> c;")
+    return "\n".join(lines) + "\n"
+
+
+def _op_line(op) -> str:
+    if op.kind == CPHASE:
+        a, b = op.qubits
+        return f"cu1({_angle(op.param)}) q[{a}],q[{b}];"
+    if op.kind == SWAP:
+        a, b = op.qubits
+        return f"swap q[{a}],q[{b}];"
+    if op.kind == CX:
+        a, b = op.qubits
+        return f"cx q[{a}],q[{b}];"
+    if op.kind == H:
+        return f"h q[{op.qubits[0]}];"
+    if op.kind == RX:
+        return f"rx({_angle(op.param)}) q[{op.qubits[0]}];"
+    if op.kind == RZ:
+        return f"rz({_angle(op.param)}) q[{op.qubits[0]}];"
+    if op.kind == PHASE:
+        return f"u1({_angle(op.param)}) q[{op.qubits[0]}];"
+    raise ValueError(f"cannot serialise op kind {op.kind!r}")
+
+
+def _angle(value) -> str:
+    return f"{float(value or 0.0):.12g}"
+
+
+def from_qasm(text: str) -> Circuit:
+    """Parse the subset of OpenQASM 2.0 emitted by :func:`to_qasm`.
+
+    Round-trip support only — not a general QASM front-end.
+    """
+    import re
+
+    from .gates import Op
+
+    n_qubits = None
+    ops = []
+    gate_re = re.compile(
+        r"^(\w+)(?:\(([^)]*)\))?\s+q\[(\d+)\](?:,q\[(\d+)\])?;$")
+    for raw in text.splitlines():
+        line = raw.split("//")[0].strip()
+        if (not line or line.startswith(("OPENQASM", "include", "creg",
+                                         "measure"))):
+            continue
+        if line.startswith("qreg"):
+            n_qubits = int(re.search(r"\[(\d+)\]", line).group(1))
+            continue
+        match = gate_re.match(line)
+        if not match:
+            raise ValueError(f"unsupported QASM line: {line!r}")
+        name, param, a, b = match.groups()
+        param = float(param) if param else None
+        a = int(a)
+        b = int(b) if b is not None else None
+        if name == "cu1":
+            ops.append(Op.cphase(a, b, param))
+        elif name == "swap":
+            ops.append(Op.swap(a, b))
+        elif name == "cx":
+            ops.append(Op.cx(a, b))
+        elif name == "h":
+            ops.append(Op.h(a))
+        elif name == "rx":
+            ops.append(Op.rx(a, param))
+        elif name == "rz":
+            ops.append(Op.rz(a, param))
+        elif name == "u1":
+            ops.append(Op.phase(a, param))
+        else:
+            raise ValueError(f"unsupported QASM gate: {name!r}")
+    if n_qubits is None:
+        raise ValueError("missing qreg declaration")
+    return Circuit(n_qubits, ops)

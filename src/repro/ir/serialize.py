@@ -1,0 +1,128 @@
+"""JSON (de)serialisation for circuits, problems and compiled results.
+
+Compiled circuits are expensive to produce at scale; persisting them lets
+benchmark sweeps resume and lets results be inspected out-of-process.
+The format is a versioned plain-JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from .circuit import Circuit
+from .gates import OP_KINDS, Op
+from .mapping import Mapping
+
+FORMAT_VERSION = 1
+
+
+def circuit_to_dict(circuit: Circuit) -> Dict:
+    """Serialise a circuit to a plain-JSON document."""
+    return {
+        "version": FORMAT_VERSION,
+        "n_qubits": circuit.n_qubits,
+        "ops": [
+            {
+                "kind": op.kind,
+                "qubits": list(op.qubits),
+                **({"param": op.param} if op.param is not None else {}),
+                **({"tag": list(op.tag)} if op.tag is not None else {}),
+            }
+            for op in circuit
+        ],
+    }
+
+
+def circuit_from_dict(data: Dict) -> Circuit:
+    """Inverse of :func:`circuit_to_dict`; validates kinds and version."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported circuit format {data.get('version')}")
+    circuit = Circuit(data["n_qubits"])
+    for entry in data["ops"]:
+        kind = entry["kind"]
+        if kind not in OP_KINDS:
+            raise ValueError(f"unknown op kind {kind!r}")
+        tag = entry.get("tag")
+        circuit.append(Op(kind, tuple(entry["qubits"]),
+                          entry.get("param"),
+                          tuple(tag) if tag is not None else None))
+    return circuit
+
+
+def mapping_to_dict(mapping: Mapping) -> Dict:
+    """Serialise a logical-to-physical mapping."""
+    return {
+        "version": FORMAT_VERSION,
+        "log_to_phys": list(mapping.log_to_phys),
+        "n_physical": mapping.n_physical,
+    }
+
+
+def mapping_from_dict(data: Dict) -> Mapping:
+    """Inverse of :func:`mapping_to_dict`."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported mapping format {data.get('version')}")
+    return Mapping(data["log_to_phys"], data["n_physical"])
+
+
+def compiled_result_to_dict(result) -> Dict:
+    """Serialise a :class:`repro.compiler.CompiledResult`."""
+    return {
+        "version": FORMAT_VERSION,
+        "method": result.method,
+        "wall_time_s": result.wall_time_s,
+        "circuit": circuit_to_dict(result.circuit),
+        "initial_mapping": mapping_to_dict(result.initial_mapping),
+        "extra": {k: v for k, v in result.extra.items()
+                  if isinstance(v, (str, int, float, bool))},
+    }
+
+
+def compiled_result_from_dict(data: Dict):
+    """Inverse of :func:`compiled_result_to_dict`."""
+    from ..compiler.result import CompiledResult
+
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported result format {data.get('version')}")
+    result = CompiledResult(
+        circuit=circuit_from_dict(data["circuit"]),
+        initial_mapping=mapping_from_dict(data["initial_mapping"]),
+        method=data["method"],
+        wall_time_s=data.get("wall_time_s", 0.0),
+    )
+    result.extra.update(data.get("extra", {}))
+    return result
+
+
+def save_result(result, path: str) -> None:
+    """Write a compiled result to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(compiled_result_to_dict(result), handle)
+
+
+def load_result(path: str):
+    """Read a compiled result from a JSON file."""
+    with open(path) as handle:
+        return compiled_result_from_dict(json.load(handle))
+
+
+def problem_to_dict(problem) -> Dict:
+    """Serialise a problem graph."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": problem.name,
+        "n_vertices": problem.n_vertices,
+        "edges": sorted(list(e) for e in problem.edges),
+    }
+
+
+def problem_from_dict(data: Dict):
+    """Inverse of :func:`problem_to_dict`."""
+    from ..problems.graphs import ProblemGraph
+
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported problem format {data.get('version')}")
+    return ProblemGraph(data["n_vertices"],
+                        [tuple(e) for e in data["edges"]],
+                        name=data.get("name", ""))

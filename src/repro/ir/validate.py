@@ -1,0 +1,123 @@
+"""Semantic validation of compiled circuits.
+
+A compiled circuit is correct when, tracking the logical-to-physical mapping
+through every SWAP:
+
+1. every two-qubit operation acts on a coupled pair of physical qubits,
+2. every problem-graph edge is realised by exactly one CPHASE whose physical
+   qubits hold that logical pair at that moment, and
+3. no CPHASE is applied to a pair that is not a problem edge (or to an edge
+   that was already executed).
+
+This is the ground-truth check used across the test-suite for every
+compiler, baseline and structured pattern in the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+from ..exceptions import ValidationError
+from .circuit import Circuit
+from .gates import CPHASE, SWAP, canonical_edge, canonical_edges
+from .mapping import Mapping
+
+
+@dataclass
+class ValidationReport:
+    """Summary of a successful validation."""
+
+    n_cphase: int = 0
+    n_swap: int = 0
+    executed_edges: Set[Tuple[int, int]] = field(default_factory=set)
+    final_mapping: Optional[Mapping] = None
+
+    @property
+    def n_edges(self) -> int:
+        """Number of distinct problem edges executed."""
+        return len(self.executed_edges)
+
+
+def validate_compiled(
+    circuit: Circuit,
+    coupling_edges: Iterable[Tuple[int, int]],
+    initial_mapping: Mapping,
+    problem_edges: Iterable[Tuple[int, int]],
+    require_all_edges: bool = True,
+    allow_repeats: bool = False,
+) -> ValidationReport:
+    """Check a compiled circuit against hardware and problem constraints.
+
+    Parameters
+    ----------
+    circuit:
+        The compiled circuit (physical-qubit operations).
+    coupling_edges:
+        Undirected hardware edges.
+    initial_mapping:
+        Placement of logical qubits at the start of the circuit.
+    problem_edges:
+        Logical problem-graph edges that must each receive one CPHASE.
+    require_all_edges:
+        When true (default) every problem edge must have been executed.
+    allow_repeats:
+        When true a problem edge may receive more than one CPHASE (needed
+        for clique patterns that revisit pairs); gate counts still reflect
+        every emitted gate.
+
+    Returns
+    -------
+    ValidationReport
+
+    Raises
+    ------
+    ValidationError
+        On any constraint violation, with a message pinpointing the op.
+    """
+    hardware: FrozenSet[Tuple[int, int]] = canonical_edges(coupling_edges)
+    required: FrozenSet[Tuple[int, int]] = canonical_edges(problem_edges)
+    mapping = initial_mapping.copy()
+    report = ValidationReport()
+
+    for index, op in enumerate(circuit):
+        if op.is_two_qubit:
+            pair = canonical_edge(*op.qubits)
+            if pair not in hardware:
+                raise ValidationError(
+                    f"op #{index} {op!r} acts on uncoupled physical pair {pair}")
+        if op.kind == CPHASE:
+            u, v = op.qubits
+            lu, lv = mapping.logical(u), mapping.logical(v)
+            if lu is None or lv is None:
+                raise ValidationError(
+                    f"op #{index} {op!r} touches a spare physical qubit "
+                    f"(logical occupants: {lu}, {lv})")
+            logical_edge = canonical_edge(lu, lv)
+            if logical_edge not in required:
+                raise ValidationError(
+                    f"op #{index} {op!r} implements {logical_edge}, which is "
+                    f"not a problem edge")
+            if logical_edge in report.executed_edges and not allow_repeats:
+                raise ValidationError(
+                    f"op #{index} {op!r} repeats problem edge {logical_edge}")
+            if op.tag is not None and canonical_edge(*op.tag) != logical_edge:
+                raise ValidationError(
+                    f"op #{index} {op!r} tag disagrees with tracked mapping "
+                    f"({logical_edge})")
+            report.executed_edges.add(logical_edge)
+            report.n_cphase += 1
+        elif op.kind == SWAP:
+            mapping.swap_physical(*op.qubits)
+            report.n_swap += 1
+
+    if require_all_edges:
+        missing = required - report.executed_edges
+        if missing:
+            sample = sorted(missing)[:5]
+            raise ValidationError(
+                f"{len(missing)} problem edges never executed "
+                f"(first few: {sample})")
+
+    report.final_mapping = mapping
+    return report

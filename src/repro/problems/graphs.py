@@ -1,0 +1,124 @@
+"""Problem graphs — the inputs to QAOA / 2-local Hamiltonian compilation.
+
+A problem graph has one vertex per logical qubit and one edge per two-qubit
+permutable operator (Section 2.1, Fig 2).  Benchmarks follow Section 7.1:
+NetworkX random graphs at a target density and random regular graphs at a
+target degree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from ..ir.gates import canonical_edges
+
+
+class ProblemGraph:
+    """Immutable undirected problem graph over ``n_vertices`` logical qubits."""
+
+    def __init__(self, n_vertices: int,
+                 edges: Iterable[Tuple[int, int]],
+                 name: str = "") -> None:
+        if n_vertices <= 0:
+            raise ValueError("problem graph needs at least one vertex")
+        self.n_vertices = n_vertices
+        self.edges: FrozenSet[Tuple[int, int]] = canonical_edges(edges)
+        for u, v in self.edges:
+            if u == v or not (0 <= u < n_vertices and 0 <= v < n_vertices):
+                raise ValueError(f"invalid edge ({u}, {v})")
+        self.name = name or f"graph-{n_vertices}-{len(self.edges)}"
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def density(self) -> float:
+        if self.n_vertices < 2:
+            return 0.0
+        max_edges = self.n_vertices * (self.n_vertices - 1) / 2
+        return self.n_edges / max_edges
+
+    def degrees(self) -> Dict[int, int]:
+        degs = {v: 0 for v in range(self.n_vertices)}
+        for u, v in self.edges:
+            degs[u] += 1
+            degs[v] += 1
+        return degs
+
+    def neighbors(self, v: int) -> List[int]:
+        out = []
+        for a, b in self.edges:
+            if a == v:
+                out.append(b)
+            elif b == v:
+                out.append(a)
+        return sorted(out)
+
+    def connected_components(self) -> List[FrozenSet[int]]:
+        """Components of the *edge-supported* subgraph; isolated vertices
+        (no pending gates) are omitted."""
+        parent = {}
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v in self.edges:
+            parent.setdefault(u, u)
+            parent.setdefault(v, v)
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[ru] = rv
+        groups: Dict[int, set] = {}
+        for vertex in parent:
+            groups.setdefault(find(vertex), set()).add(vertex)
+        return [frozenset(g) for g in groups.values()]
+
+    def __repr__(self) -> str:
+        return (f"ProblemGraph({self.name!r}, n={self.n_vertices}, "
+                f"edges={self.n_edges})")
+
+
+def clique(n_vertices: int) -> ProblemGraph:
+    """The special case of Definition 1: one gate between every qubit pair."""
+    edges = [(i, j) for i in range(n_vertices) for j in range(i + 1, n_vertices)]
+    return ProblemGraph(n_vertices, edges, name=f"clique-{n_vertices}")
+
+
+def random_problem_graph(n_vertices: int, density: float,
+                         seed: int = 0) -> ProblemGraph:
+    """Erdős–Rényi G(n, m) graph with ``m = density * n*(n-1)/2`` edges."""
+    import networkx as nx
+
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must be in [0, 1]")
+    max_edges = n_vertices * (n_vertices - 1) // 2
+    m = int(round(density * max_edges))
+    graph = nx.gnm_random_graph(n_vertices, m, seed=seed)
+    return ProblemGraph(n_vertices, graph.edges(),
+                        name=f"rand-{n_vertices}-{density:g}-s{seed}")
+
+
+def regular_problem_graph(n_vertices: int, degree: int,
+                          seed: int = 0) -> ProblemGraph:
+    """Random regular graph; ``degree * n`` must be even (NetworkX rule)."""
+    import networkx as nx
+
+    if (degree * n_vertices) % 2 != 0:
+        degree += 1
+    graph = nx.random_regular_graph(degree, n_vertices, seed=seed)
+    return ProblemGraph(n_vertices, graph.edges(),
+                        name=f"reg-{n_vertices}-d{degree}-s{seed}")
+
+
+def regular_for_density(n_vertices: int, density: float,
+                        seed: int = 0) -> ProblemGraph:
+    """Regular graph whose density is close to ``density`` (Section 7.1:
+    'set the density of regular graph close to 0.3 or 0.5 by varying the
+    degree of each vertex')."""
+    degree = max(1, int(round(density * (n_vertices - 1))))
+    if degree >= n_vertices:
+        degree = n_vertices - 1
+    return regular_problem_graph(n_vertices, degree, seed=seed)

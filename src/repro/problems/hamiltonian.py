@@ -1,0 +1,78 @@
+"""2-local Hamiltonian simulation benchmarks (Table 3).
+
+The paper evaluates next-nearest-neighbour (NNN) interaction graphs of three
+physical models, each with 64 spins, following 2QAN:
+
+* **NNN 1D Ising** — a chain with ``(i, i+1)`` and ``(i, i+2)`` couplings.
+* **NNN 2D XY** — an ``L x L`` square lattice with nearest-neighbour and
+  diagonal (next-nearest) couplings.
+* **NNN 3D Heisenberg** — an ``L x L x L`` cubic lattice with
+  nearest-neighbour and face-diagonal couplings.
+
+For compilation purposes each interaction term is one permutable two-qubit
+block (one Trotter step); the model only determines the *interaction graph*,
+which is all the router consumes.  (An XY or Heisenberg term decomposes into
+2-3 ZZ-style interactions on the *same* qubit pair, which multiplies gate
+counts uniformly across all compilers and therefore cancels in comparisons.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from .graphs import ProblemGraph
+
+
+def nnn_ising_1d(n_spins: int = 64) -> ProblemGraph:
+    """Next-nearest-neighbour 1D Ising chain."""
+    edges: List[Tuple[int, int]] = []
+    for i in range(n_spins - 1):
+        edges.append((i, i + 1))
+    for i in range(n_spins - 2):
+        edges.append((i, i + 2))
+    return ProblemGraph(n_spins, edges, name=f"nnn-1d-ising-{n_spins}")
+
+
+def nnn_xy_2d(side: int = 8) -> ProblemGraph:
+    """Next-nearest-neighbour 2D XY model on a ``side x side`` lattice."""
+    def node(r: int, c: int) -> int:
+        return r * side + c
+
+    edges: List[Tuple[int, int]] = []
+    for r in range(side):
+        for c in range(side):
+            if c + 1 < side:
+                edges.append((node(r, c), node(r, c + 1)))
+            if r + 1 < side:
+                edges.append((node(r, c), node(r + 1, c)))
+            if r + 1 < side and c + 1 < side:
+                edges.append((node(r, c), node(r + 1, c + 1)))
+            if r + 1 < side and c - 1 >= 0:
+                edges.append((node(r, c), node(r + 1, c - 1)))
+    return ProblemGraph(side * side, edges, name=f"nnn-2d-xy-{side}x{side}")
+
+
+def nnn_heisenberg_3d(side: int = 4) -> ProblemGraph:
+    """NNN 3D Heisenberg model on a ``side^3`` cubic lattice."""
+    def node(x: int, y: int, z: int) -> int:
+        return (x * side + y) * side + z
+
+    edges: List[Tuple[int, int]] = []
+    axes = [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+    diagonals = [(1, 1, 0), (1, -1, 0), (1, 0, 1), (1, 0, -1),
+                 (0, 1, 1), (0, 1, -1)]
+    for x in range(side):
+        for y in range(side):
+            for z in range(side):
+                for dx, dy, dz in axes + diagonals:
+                    nx_, ny_, nz_ = x + dx, y + dy, z + dz
+                    if 0 <= nx_ < side and 0 <= ny_ < side and 0 <= nz_ < side:
+                        edges.append((node(x, y, z), node(nx_, ny_, nz_)))
+    return ProblemGraph(side ** 3, edges,
+                        name=f"nnn-3d-heisenberg-{side}^3")
+
+
+def hamiltonian_benchmarks() -> List[ProblemGraph]:
+    """The three Table-3 benchmarks at their paper sizes (64 qubits each)."""
+    return [nnn_ising_1d(64), nnn_xy_2d(8), nnn_heisenberg_3d(4)]

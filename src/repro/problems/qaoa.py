@@ -1,0 +1,89 @@
+"""QAOA-MaxCut problem definition and logical circuit construction.
+
+A depth-p QAOA-MaxCut circuit (Fig 2) is::
+
+    H on every qubit
+    for each layer k:
+        CPHASE-block: one ZZ-phase interaction per problem edge (angle gamma_k)
+        RX(2*beta_k) on every qubit
+
+All the CPHASE gates inside one block commute, which is the degree of
+freedom the compiler exploits.  The cost operator here is the MaxCut
+Hamiltonian ``C = sum_{(u,v) in E} (1 - Z_u Z_v) / 2``; the expected cut of
+a bitstring distribution is computed by :meth:`QaoaProblem.expected_cut`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.circuit import Circuit
+from ..ir.gates import Op
+from .graphs import ProblemGraph
+
+
+class QaoaProblem:
+    """MaxCut QAOA instance over a problem graph."""
+
+    def __init__(self, graph: ProblemGraph) -> None:
+        self.graph = graph
+
+    @property
+    def n_qubits(self) -> int:
+        return self.graph.n_vertices
+
+    # -- circuit construction -------------------------------------------------
+
+    def logical_circuit(self, gammas: Sequence[float],
+                        betas: Sequence[float]) -> Circuit:
+        """The uncompiled (all-to-all connectivity) QAOA circuit."""
+        if len(gammas) != len(betas):
+            raise ValueError("gammas and betas must have equal length")
+        circuit = Circuit(self.n_qubits)
+        for q in range(self.n_qubits):
+            circuit.append(Op.h(q))
+        for gamma, beta in zip(gammas, betas):
+            for u, v in sorted(self.graph.edges):
+                circuit.append(Op.cphase(u, v, gamma, tag=(u, v)))
+            for q in range(self.n_qubits):
+                circuit.append(Op.rx(q, 2.0 * beta))
+        return circuit
+
+    # -- cost function ---------------------------------------------------------
+
+    def cut_value(self, bits: Sequence[int]) -> int:
+        """Cut size of one assignment (bit per vertex)."""
+        return sum(1 for u, v in self.graph.edges if bits[u] != bits[v])
+
+    def cut_values_all(self) -> np.ndarray:
+        """Cut value for every basis state (index bit order: qubit 0 is the
+        most significant bit, matching :mod:`repro.sim`)."""
+        n = self.n_qubits
+        values = np.zeros(2 ** n, dtype=np.int64)
+        for u, v in self.graph.edges:
+            bit_u = 1 << (n - 1 - u)
+            bit_v = 1 << (n - 1 - v)
+            indices = np.arange(2 ** n)
+            differ = ((indices & bit_u) > 0) != ((indices & bit_v) > 0)
+            values += differ
+        return values
+
+    def expected_cut(self, probabilities: np.ndarray) -> float:
+        """Expected cut of a probability distribution over basis states."""
+        return float(np.dot(probabilities, self.cut_values_all()))
+
+    def max_cut_brute_force(self) -> int:
+        """Exact optimum for small graphs (exponential; n <= 24)."""
+        if self.n_qubits > 24:
+            raise ValueError("brute force limited to 24 qubits")
+        return int(self.cut_values_all().max())
+
+
+def maxcut_expectation_energy(problem: QaoaProblem,
+                              probabilities: np.ndarray) -> float:
+    """The quantity plotted in Figs 24/25: minus the expected cut (the
+    classical optimizer minimises this)."""
+    return -problem.expected_cut(probabilities)

@@ -1,0 +1,25 @@
+"""Simulation substrate: statevector engine, noise substitution, QAOA loop."""
+
+from .noise import (depolarized_probabilities, empirical_distribution,
+                    sample_counts, tvd)
+from .qaoa_runner import (QaoaRound, QaoaRunResult, QaoaRunner,
+                          logical_equivalent, qaoa_layer_circuit,
+                          qaoa_multilayer_circuit)
+from .statevector import apply_op, probabilities, run_circuit, zero_state
+
+__all__ = [
+    "zero_state",
+    "apply_op",
+    "run_circuit",
+    "probabilities",
+    "depolarized_probabilities",
+    "sample_counts",
+    "empirical_distribution",
+    "tvd",
+    "logical_equivalent",
+    "qaoa_layer_circuit",
+    "qaoa_multilayer_circuit",
+    "QaoaRunner",
+    "QaoaRunResult",
+    "QaoaRound",
+]

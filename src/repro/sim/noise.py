@@ -1,0 +1,73 @@
+"""Noisy-execution substitution for the real-machine experiments.
+
+The paper runs compiled circuits on IBM Mumbai.  Offline, we model the
+device with the standard first-order channel: with probability ``ESP``
+(the compiled circuit's estimated success probability under the synthetic
+calibration) the circuit acts ideally; otherwise the register fully
+depolarises::
+
+    p_noisy = ESP * p_ideal + (1 - ESP) / 2^n
+
+This keeps the one property every end-to-end claim rests on — circuits
+with fewer CX and lower depth retain more signal — while exercising the
+identical compile -> execute -> optimise code path.  Shot noise is applied
+on top by multinomial sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def depolarized_probabilities(ideal: np.ndarray, esp: float) -> np.ndarray:
+    """Mix the ideal distribution with the fully-mixed state."""
+    if not 0.0 <= esp <= 1.0:
+        raise ValueError(f"esp must be in [0, 1], got {esp}")
+    dim = ideal.shape[0]
+    return esp * ideal + (1.0 - esp) / dim
+
+
+def sample_counts(probabilities: np.ndarray, shots: int,
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Multinomial shot sampling; returns counts per basis state."""
+    if rng is None:
+        rng = np.random.default_rng()
+    return rng.multinomial(shots, probabilities / probabilities.sum())
+
+
+def empirical_distribution(counts: np.ndarray) -> np.ndarray:
+    """Normalise shot counts into a probability distribution."""
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("no shots recorded")
+    return counts / total
+
+
+def tvd(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance, the paper's fidelity metric (Section 7.1)."""
+    return 0.5 * float(np.abs(np.asarray(p) - np.asarray(q)).sum())
+
+
+def apply_readout_errors(probabilities: np.ndarray,
+                         flip_rates: Dict[int, float]) -> np.ndarray:
+    """Push a distribution through per-qubit binary symmetric channels.
+
+    ``flip_rates[q]`` is the probability that qubit ``q``'s measurement
+    outcome flips.  Qubit ``q`` is bit ``n-1-q`` of the basis index (the
+    package-wide big-endian convention).  Cost: O(n * 2^n).
+    """
+    dist = np.asarray(probabilities, dtype=float)
+    n = int(np.log2(dist.shape[0]))
+    if 2 ** n != dist.shape[0]:
+        raise ValueError("distribution length must be a power of two")
+    tensor = dist.reshape((2,) * n)
+    for qubit, rate in sorted(flip_rates.items()):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"flip rate {rate} out of range")
+        if qubit >= n:
+            raise ValueError(f"qubit {qubit} out of range for {n} qubits")
+        flipped = np.flip(tensor, axis=qubit)
+        tensor = (1.0 - rate) * tensor + rate * flipped
+    return tensor.reshape(-1)

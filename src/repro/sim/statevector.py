@@ -1,0 +1,94 @@
+"""Dense statevector simulator.
+
+Convention: qubit ``q`` is tensor axis ``q`` of the state reshaped to
+``(2,) * n`` — qubit 0 is the most significant bit of a basis index.  This
+matches :meth:`repro.problems.QaoaProblem.cut_values_all` and the test
+helpers.
+
+Supports the package's full gate set (H, RX, RZ, P, CX, CPHASE, SWAP); fine
+up to ~24 qubits, far beyond what the end-to-end experiments need (≤20).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..ir.circuit import Circuit
+from ..ir.gates import CPHASE, CX, H, PHASE, RX, RZ, SWAP, Op
+
+_H = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2)
+_CX = np.array([[1, 0, 0, 0],
+                [0, 1, 0, 0],
+                [0, 0, 0, 1],
+                [0, 0, 1, 0]], dtype=complex).reshape(2, 2, 2, 2)
+_SWAP = np.array([[1, 0, 0, 0],
+                  [0, 0, 1, 0],
+                  [0, 1, 0, 0],
+                  [0, 0, 0, 1]], dtype=complex).reshape(2, 2, 2, 2)
+
+
+def zero_state(n_qubits: int) -> np.ndarray:
+    """The |0...0> state as a rank-n tensor."""
+    state = np.zeros((2,) * n_qubits, dtype=complex)
+    state[(0,) * n_qubits] = 1.0
+    return state
+
+
+def _one_qubit_matrix(op: Op) -> np.ndarray:
+    theta = op.param or 0.0
+    if op.kind == H:
+        return _H
+    if op.kind == RX:
+        c, s = math.cos(theta / 2), -1j * math.sin(theta / 2)
+        return np.array([[c, s], [s, c]], dtype=complex)
+    if op.kind == RZ:
+        return np.diag([np.exp(-1j * theta / 2), np.exp(1j * theta / 2)])
+    if op.kind == PHASE:
+        return np.diag([1.0, np.exp(1j * theta)]).astype(complex)
+    raise ValueError(f"unsupported single-qubit op {op!r}")
+
+
+def _two_qubit_tensor(op: Op) -> np.ndarray:
+    if op.kind == CX:
+        return _CX
+    if op.kind == SWAP:
+        return _SWAP
+    if op.kind == CPHASE:
+        g = op.param or 0.0
+        return np.diag([1, 1, 1, np.exp(1j * g)]).astype(
+            complex).reshape(2, 2, 2, 2)
+    raise ValueError(f"unsupported two-qubit op {op!r}")
+
+
+def apply_op(state: np.ndarray, op: Op) -> np.ndarray:
+    """Apply one operation to a rank-n state tensor (returns a new array)."""
+    n = state.ndim
+    if len(op.qubits) == 1:
+        q = op.qubits[0]
+        matrix = _one_qubit_matrix(op)
+        state = np.tensordot(matrix, state, axes=([1], [q]))
+        return np.moveaxis(state, 0, q)
+    a, b = op.qubits
+    tensor = _two_qubit_tensor(op)
+    state = np.tensordot(tensor, state, axes=([2, 3], [a, b]))
+    return np.moveaxis(state, (0, 1), (a, b))
+
+
+def run_circuit(circuit: Circuit,
+                state: Optional[np.ndarray] = None) -> np.ndarray:
+    """Run a circuit from |0...0> (or a provided state)."""
+    if state is None:
+        state = zero_state(circuit.n_qubits)
+    elif state.ndim != circuit.n_qubits:
+        raise ValueError("state rank does not match circuit width")
+    for op in circuit:
+        state = apply_op(state, op)
+    return state
+
+
+def probabilities(state: np.ndarray) -> np.ndarray:
+    """Measurement distribution over all 2^n basis states (flat array)."""
+    return np.abs(state.reshape(-1)) ** 2

@@ -1,0 +1,136 @@
+"""Stochastic Pauli-trajectory noise simulation.
+
+A finer-grained alternative to the ESP-depolarizing substitute of
+:mod:`repro.sim.noise`: every two-qubit *hardware* operation (CPHASE,
+SWAP, or a fused pair) fails independently with its link's per-CX error
+rate scaled by its CX cost; a failure injects a uniformly random
+non-identity two-qubit Pauli on the logical qubits occupying the link at
+that moment.  Averaging over trajectories yields the noisy distribution.
+
+SWAPs act trivially on the logical state, but their *failures* still hit
+the logical occupants — which is precisely why circuits with fewer SWAPs
+(the paper's thesis) keep more signal.  Tests cross-check that this model
+and the ESP mixture order compilers identically.
+
+Cost: one full statevector run per trajectory — use for <= ~12 logical
+qubits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arch.noise import NoiseModel
+from ..compiler.result import CompiledResult
+from ..ir.circuit import Circuit
+from ..ir.decompose import _FUSED, fusion_units
+from ..ir.gates import CPHASE, SWAP, Op, canonical_edge
+from ..ir.mapping import Mapping
+from ..problems.qaoa import QaoaProblem
+from .statevector import apply_op, probabilities, zero_state
+
+#: The 15 non-identity two-qubit Paulis as (P_on_a, P_on_b) kind pairs.
+_PAULIS = ("i", "x", "y", "z")
+
+
+def _apply_pauli(state: np.ndarray, kind: str, qubit: int) -> np.ndarray:
+    if kind == "i":
+        return state
+    if kind == "x":
+        return apply_op(state, Op.rx(qubit, np.pi))  # X up to global phase
+    if kind == "z":
+        return apply_op(state, Op.rz(qubit, np.pi))  # Z up to global phase
+    # Y = iXZ: phases cancel in probabilities.
+    state = apply_op(state, Op.rz(qubit, np.pi))
+    return apply_op(state, Op.rx(qubit, np.pi))
+
+
+class _NoisyStep:
+    """One logical operation plus its failure probability."""
+
+    __slots__ = ("logical_op", "targets", "error")
+
+    def __init__(self, logical_op: Optional[Op],
+                 targets: Tuple[int, ...], error: float) -> None:
+        self.logical_op = logical_op
+        self.targets = targets
+        self.error = error
+
+
+def _build_steps(compiled: CompiledResult, n_logical: int,
+                 noise: NoiseModel) -> List[_NoisyStep]:
+    """Reduce the physical circuit to logical steps with error rates."""
+    mapping: Mapping = compiled.initial_mapping.copy()
+    steps: List[_NoisyStep] = []
+    for unit_kind, ops in fusion_units(compiled.circuit):
+        op = ops[0]
+        if not op.is_two_qubit:
+            continue  # single-qubit errors are negligible here
+        edge = canonical_edge(*op.qubits)
+        if unit_kind == _FUSED:
+            n_cx = 3
+        elif op.kind == CPHASE:
+            n_cx = 2
+        elif op.kind == SWAP:
+            n_cx = 3
+        else:
+            n_cx = 1
+        error = 1.0 - (1.0 - noise.cx_error[edge]) ** n_cx
+
+        unit_ops = ops if unit_kind == _FUSED else [op]
+        logical_gate = None
+        for unit_op in unit_ops:
+            if unit_op.kind == CPHASE:
+                lu = mapping.logical(unit_op.qubits[0])
+                lv = mapping.logical(unit_op.qubits[1])
+                logical_gate = Op.cphase(lu, lv, unit_op.param)
+        targets = tuple(mapping.logical(q) for q in op.qubits)
+        for unit_op in unit_ops:
+            if unit_op.kind == SWAP:
+                mapping.swap_physical(*unit_op.qubits)
+        steps.append(_NoisyStep(logical_gate, targets, error))
+    return steps
+
+
+def trajectory_probabilities(
+    compiled: CompiledResult,
+    problem: QaoaProblem,
+    gamma: float,
+    beta: float,
+    noise: NoiseModel,
+    n_trajectories: int = 200,
+    seed: int = 0,
+) -> np.ndarray:
+    """Average measurement distribution over noisy trajectories."""
+    n = problem.n_qubits
+    if n > 14:
+        raise ValueError("trajectory simulation limited to 14 qubits")
+    steps = _build_steps(compiled, n, noise)
+    rng = np.random.default_rng(seed)
+    total = np.zeros(2 ** n)
+
+    for _ in range(n_trajectories):
+        state = zero_state(n)
+        for q in range(n):
+            state = apply_op(state, Op.h(q))
+        for step in steps:
+            if step.logical_op is not None:
+                gate = step.logical_op
+                state = apply_op(state, Op.cphase(gate.qubits[0],
+                                                  gate.qubits[1], gamma))
+            if rng.random() < step.error:
+                pauli_a = _PAULIS[rng.integers(0, 4)]
+                pauli_b = _PAULIS[rng.integers(0, 4)]
+                if pauli_a == pauli_b == "i":
+                    pauli_a = "x"
+                targets = [t for t in step.targets if t is not None]
+                if targets:
+                    state = _apply_pauli(state, pauli_a, targets[0])
+                if len(targets) > 1:
+                    state = _apply_pauli(state, pauli_b, targets[1])
+        for q in range(n):
+            state = apply_op(state, Op.rx(q, 2.0 * beta))
+        total += probabilities(state)
+    return total / n_trajectories

@@ -1,0 +1,6 @@
+"""Depth-optimal A* solver for small instances (Section 4)."""
+
+from .astar import SolverResult, solve_depth_optimal
+from .heuristic import heuristic, pair_cost
+
+__all__ = ["solve_depth_optimal", "SolverResult", "heuristic", "pair_cost"]

@@ -1,0 +1,60 @@
+"""Tests for the programmatic sweep API."""
+
+import pytest
+
+from repro.analysis import SweepResult, make_workload, run_sweep
+from repro.analysis.sweeps import SweepPoint
+from repro.compiler import compile_qaoa
+
+
+COMPILERS = {
+    "greedy": lambda c, p: compile_qaoa(c, p, method="greedy"),
+    "ata": lambda c, p: compile_qaoa(c, p, method="ata"),
+}
+
+
+class TestMakeWorkload:
+    def test_random(self):
+        g = make_workload("rand", 12, 0.3, seed=0)
+        assert g.n_vertices == 12
+
+    def test_regular(self):
+        g = make_workload("reg", 12, 0.3, seed=0)
+        assert len(set(g.degrees().values())) == 1
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_workload("tree", 12, 0.3, seed=0)
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_sweep(["line", "grid"], [("rand", 8, 0.4)],
+                         COMPILERS, seeds=(0, 1))
+
+    def test_point_count(self, sweep):
+        assert len(sweep.points) == 2 * 1 * 2  # arch x workload x compiler
+
+    def test_lookup(self, sweep):
+        point = sweep.get("line", "rand-8-0.4", "greedy")
+        assert point.depth > 0
+        assert point.n_seeds == 2
+
+    def test_lookup_missing(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.get("line", "rand-8-0.4", "magic")
+
+    def test_compilers_order(self, sweep):
+        assert sweep.compilers() == ["greedy", "ata"]
+
+    def test_rows_shape(self, sweep):
+        rows = sweep.rows("cx")
+        assert len(rows) == 2  # one per (arch, workload)
+        assert len(rows[0]) == 3  # label + 2 compilers
+
+    def test_metrics_are_averages(self):
+        single = run_sweep(["line"], [("rand", 8, 0.4)], COMPILERS,
+                           seeds=(0,))
+        point = single.get("line", "rand-8-0.4", "greedy")
+        assert point.n_seeds == 1

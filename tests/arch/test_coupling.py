@@ -1,0 +1,77 @@
+"""Tests for CouplingGraph basics."""
+
+import pytest
+
+from repro.arch.coupling import CouplingGraph
+from repro.exceptions import ArchitectureError
+
+
+@pytest.fixture
+def square():
+    return CouplingGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)], name="sq")
+
+
+class TestTopology:
+    def test_edges_canonicalised(self, square):
+        assert (0, 3) in square.edges
+        assert square.has_edge(3, 0)
+        assert square.n_edges == 4
+
+    def test_duplicate_edges_collapse(self):
+        g = CouplingGraph(2, [(0, 1), (1, 0)])
+        assert g.n_edges == 1
+
+    def test_neighbors_sorted(self, square):
+        assert square.neighbors(0) == (1, 3)
+
+    def test_degree(self, square):
+        assert square.degree(1) == 2
+        assert square.max_degree() == 2
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ArchitectureError):
+            CouplingGraph(2, [(0, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ArchitectureError):
+            CouplingGraph(2, [(0, 2)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ArchitectureError):
+            CouplingGraph(0, [])
+
+
+class TestDistances:
+    def test_distance_on_cycle(self, square):
+        assert square.distance(0, 2) == 2
+        assert square.distance(0, 3) == 1
+        assert square.distance(1, 1) == 0
+
+    def test_disconnected_distance_raises(self):
+        g = CouplingGraph(3, [(0, 1)])
+        with pytest.raises(ArchitectureError):
+            g.distance(0, 2)
+
+    def test_is_connected(self, square):
+        assert square.is_connected()
+        assert not CouplingGraph(3, [(0, 1)]).is_connected()
+
+    def test_shortest_path_endpoints(self, square):
+        path = square.shortest_path(0, 2)
+        assert path[0] == 0 and path[-1] == 2
+        assert len(path) == 3
+        for a, b in zip(path, path[1:]):
+            assert square.has_edge(a, b)
+
+    def test_shortest_path_trivial(self, square):
+        assert square.shortest_path(1, 1) == [1]
+
+    def test_distance_matrix_symmetry(self, square):
+        m = square.distance_matrix
+        assert (m == m.T).all()
+
+
+def test_to_networkx_roundtrip(square):
+    g = square.to_networkx()
+    assert g.number_of_nodes() == 4
+    assert g.number_of_edges() == 4

@@ -1,0 +1,45 @@
+"""Metric-space properties of coupling-graph distances, per architecture."""
+
+import numpy as np
+import pytest
+
+from repro.arch import cube, grid, heavyhex, hexagon, line, mumbai, sycamore
+
+ARCHES = [line(9), grid(3, 4), sycamore(3, 4), hexagon(4, 3),
+          heavyhex(2, 6), mumbai(), cube(2, 2, 3)]
+
+
+@pytest.mark.parametrize("coupling", ARCHES, ids=lambda a: a.name)
+class TestMetricProperties:
+    def test_symmetry(self, coupling):
+        m = coupling.distance_matrix
+        assert (m == m.T).all()
+
+    def test_identity(self, coupling):
+        m = coupling.distance_matrix
+        assert (np.diag(m) == 0).all()
+
+    def test_edges_have_distance_one(self, coupling):
+        for u, v in coupling.edges:
+            assert coupling.distance(u, v) == 1
+
+    def test_triangle_inequality(self, coupling):
+        m = coupling.distance_matrix.astype(np.int64)
+        n = coupling.n_qubits
+        for k in range(n):
+            # d(i,j) <= d(i,k) + d(k,j) for all i,j — vectorised.
+            via_k = m[:, k][:, None] + m[k, :][None, :]
+            assert (m <= via_k).all()
+
+    def test_positive_off_diagonal(self, coupling):
+        m = coupling.distance_matrix
+        off = m[~np.eye(coupling.n_qubits, dtype=bool)]
+        assert (off >= 1).all()
+
+    def test_shortest_path_length_matches_distance(self, coupling):
+        rng = np.random.default_rng(1)
+        n = coupling.n_qubits
+        for _ in range(10):
+            u, v = rng.integers(0, n, size=2)
+            path = coupling.shortest_path(int(u), int(v))
+            assert len(path) - 1 == coupling.distance(int(u), int(v))

@@ -1,0 +1,41 @@
+"""Tests for the architecture ASCII renderer."""
+
+from repro.arch import grid, heavyhex, hexagon, line, mumbai, sycamore
+from repro.arch.draw import draw_architecture
+
+
+class TestDrawArchitecture:
+    def test_line_contains_all_qubits(self):
+        art = draw_architecture(line(5))
+        for q in range(5):
+            assert str(q) in art
+
+    def test_grid_has_row_per_unit(self):
+        g = grid(3, 4)
+        art = draw_architecture(g)
+        node_lines = [l for l in art.splitlines() if "—" in l]
+        assert len(node_lines) == 3
+
+    def test_sycamore_renders(self):
+        art = draw_architecture(sycamore(3, 3))
+        assert "0" in art and "8" in art
+
+    def test_hexagon_alternating_links(self):
+        art = draw_architecture(hexagon(4, 3))
+        assert "—" in art
+        assert "|" in art
+
+    def test_heavyhex_shows_bridges(self):
+        g = heavyhex(2, 6)
+        art = draw_architecture(g)
+        bridge = str(g.n_qubits - 1)
+        assert bridge in art
+
+    def test_mumbai_has_no_grid_layout(self):
+        art = draw_architecture(mumbai())
+        assert "irregular" in art
+
+    def test_unknown_kind(self):
+        from repro.arch.coupling import CouplingGraph
+        g = CouplingGraph(2, [(0, 1)], kind="exotic")
+        assert "no layout renderer" in draw_architecture(g)

@@ -1,0 +1,214 @@
+"""Structural tests for every architecture generator."""
+
+import pytest
+
+from repro.arch import (architecture_for, grid, heavyhex, heavyhex_for,
+                        hexagon, hexagon_pair_path, line, mumbai, sycamore,
+                        sycamore_pair_path)
+from repro.arch.heavyhex import _total_qubits
+
+
+class TestLine:
+    def test_line_shape(self):
+        g = line(5)
+        assert g.n_qubits == 5
+        assert g.n_edges == 4
+        assert g.metadata["path"] == [0, 1, 2, 3, 4]
+
+    def test_line_degrees(self):
+        g = line(6)
+        assert g.degree(0) == 1
+        assert g.degree(3) == 2
+
+
+class TestGrid:
+    def test_grid_edge_count(self):
+        g = grid(3, 4)
+        assert g.n_qubits == 12
+        assert g.n_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_units_are_rows(self):
+        g = grid(3, 4)
+        assert g.metadata["units"][1] == [4, 5, 6, 7]
+
+    def test_snake_path_is_hamiltonian(self):
+        g = grid(4, 5)
+        path = g.metadata["path"]
+        assert sorted(path) == list(range(20))
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b)
+
+    def test_unit_rows_are_chains(self):
+        g = grid(3, 4)
+        for unit in g.metadata["units"]:
+            for a, b in zip(unit, unit[1:]):
+                assert g.has_edge(a, b)
+
+    def test_architecture_for_minimality(self):
+        g = architecture_for("grid", 10)
+        assert g.n_qubits >= 10
+        assert g.n_qubits <= 12  # 3x4 fits, 4x4 would be wasteful
+
+
+class TestSycamore:
+    def test_interior_degree_is_four(self):
+        g = sycamore(5, 5)
+        interior = 2 * 5 + 2  # row 2, col 2 -> node 12
+        assert g.degree(12) == 4
+
+    def test_rows_have_no_internal_edges(self):
+        g = sycamore(3, 4)
+        for unit in g.metadata["units"]:
+            for a in unit:
+                for b in unit:
+                    if a != b:
+                        assert not g.has_edge(a, b)
+
+    @pytest.mark.parametrize("r", [0, 1, 2])
+    def test_pair_path_valid(self, r):
+        g = sycamore(4, 5)
+        path = sycamore_pair_path(r, 5)
+        expected = set(g.metadata["units"][r]) | set(g.metadata["units"][r + 1])
+        assert set(path) == expected
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b), (a, b)
+
+    def test_pair_path_alternates_rows(self):
+        g = sycamore(2, 4)
+        path = sycamore_pair_path(0, 4)
+        rows = [q // 4 for q in path]
+        assert rows == [1, 0] * 4
+
+    def test_connected(self):
+        assert sycamore(4, 4).is_connected()
+
+
+class TestHexagon:
+    def test_requires_even_rows(self):
+        with pytest.raises(ValueError):
+            hexagon(3, 3)
+
+    def test_degree_at_most_three(self):
+        g = hexagon(6, 5)
+        assert g.max_degree() <= 3
+
+    def test_units_are_column_chains(self):
+        g = hexagon(4, 3)
+        for unit in g.metadata["units"]:
+            for a, b in zip(unit, unit[1:]):
+                assert g.has_edge(a, b)
+
+    @pytest.mark.parametrize("c", [0, 1, 2])
+    def test_pair_path_valid(self, c):
+        rows = 4
+        g = hexagon(rows, 4)
+        path = hexagon_pair_path(c, rows)
+        expected = set(g.metadata["units"][c]) | set(g.metadata["units"][c + 1])
+        assert set(path) == expected
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b), (a, b)
+
+    def test_connected(self):
+        assert hexagon(4, 5).is_connected()
+
+
+class TestHeavyHex:
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            heavyhex(3, width=8)
+
+    def test_degree_at_most_three(self):
+        g = heavyhex(5, 10)
+        assert g.max_degree() <= 3
+
+    def test_total_qubits_helper(self):
+        g = heavyhex(4, 10)
+        assert g.n_qubits == _total_qubits(4, 10)
+
+    def test_longest_path_is_simple_and_valid(self):
+        g = heavyhex(5, 10)
+        path = g.metadata["path"]
+        assert len(path) == len(set(path))
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b), (a, b)
+
+    def test_path_covers_all_row_qubits(self):
+        rows, width = 4, 10
+        g = heavyhex(rows, width)
+        on_path = set(g.metadata["path"])
+        for q in range(rows * width):
+            assert q in on_path
+
+    def test_off_path_nodes_attach_to_path(self):
+        g = heavyhex(5, 10)
+        on_path = set(g.metadata["path"])
+        off_path = g.metadata["off_path"]
+        assert set(off_path).isdisjoint(on_path)
+        assert set(off_path) | on_path == set(range(g.n_qubits))
+        for node, anchors in off_path.items():
+            assert anchors, f"off-path node {node} has no path anchor"
+            for anchor in anchors:
+                assert anchor in on_path
+                assert g.has_edge(node, anchor)
+
+    def test_each_path_node_has_at_most_one_off_path_neighbor(self):
+        g = heavyhex(6, 10)
+        off_path = set(g.metadata["off_path"])
+        for q in g.metadata["path"]:
+            off_neighbors = [p for p in g.neighbors(q) if p in off_path]
+            assert len(off_neighbors) <= 1
+
+    def test_heavyhex_for_scales(self):
+        for n in (16, 64, 256):
+            g = heavyhex_for(n)
+            assert g.n_qubits >= n
+            assert g.is_connected()
+
+    def test_single_row(self):
+        g = heavyhex(1, 6)
+        assert g.n_qubits == 6
+        assert g.metadata["path"] == [0, 1, 2, 3, 4, 5]
+
+
+class TestMumbai:
+    def test_size(self):
+        g = mumbai()
+        assert g.n_qubits == 27
+        assert g.n_edges == 28
+
+    def test_path_valid(self):
+        g = mumbai()
+        path = g.metadata["path"]
+        assert len(path) == len(set(path)) == 21
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b), (a, b)
+
+    def test_off_path_anchored(self):
+        g = mumbai()
+        for node, anchors in g.metadata["off_path"].items():
+            assert anchors
+            for anchor in anchors:
+                assert g.has_edge(node, anchor)
+
+    def test_heavyhex_degree_bound(self):
+        assert mumbai().max_degree() <= 3
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("kind", ["line", "grid", "sycamore",
+                                      "hexagon", "heavyhex"])
+    def test_architecture_for_fits(self, kind):
+        g = architecture_for(kind, 30)
+        assert g.n_qubits >= 30
+        assert g.is_connected()
+        assert g.kind == kind
+
+    def test_unknown_kind(self):
+        from repro.exceptions import ArchitectureError
+        with pytest.raises(ArchitectureError):
+            architecture_for("torus", 10)
+
+    def test_mumbai_capacity_check(self):
+        from repro.exceptions import ArchitectureError
+        with pytest.raises(ArchitectureError):
+            architecture_for("mumbai", 30)

@@ -1,0 +1,90 @@
+"""Tests for the synthetic noise calibration."""
+
+import math
+
+import pytest
+
+from repro.arch import NoiseModel, grid, line, uniform_noise_model
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Op
+
+
+@pytest.fixture
+def model():
+    return NoiseModel(grid(3, 3), seed=11)
+
+
+class TestCalibration:
+    def test_every_edge_has_error(self, model):
+        assert set(model.cx_error) == set(model.coupling.edges)
+
+    def test_error_ranges(self, model):
+        for e in model.cx_error.values():
+            assert 1e-3 <= e <= 8e-2
+        for r in model.readout_error.values():
+            assert 5e-3 <= r <= 1.2e-1
+
+    def test_variability_exists(self, model):
+        values = list(model.cx_error.values())
+        assert max(values) > min(values)
+
+    def test_seed_reproducibility(self):
+        a = NoiseModel(grid(3, 3), seed=5)
+        b = NoiseModel(grid(3, 3), seed=5)
+        assert a.cx_error == b.cx_error
+
+    def test_edge_error_symmetric_lookup(self, model):
+        assert model.edge_error(0, 1) == model.edge_error(1, 0)
+
+    def test_uniform_model(self):
+        m = uniform_noise_model(line(4), cx_error=0.01)
+        assert set(m.cx_error.values()) == {0.01}
+
+
+class TestCrosstalk:
+    def test_crosstalk_pairs_disjoint_edges(self, model):
+        for e1, e2 in model.crosstalk_pairs:
+            assert not set(e1) & set(e2)
+
+    def test_known_crosstalk_on_grid(self, model):
+        # (0,1) and (3,4) are parallel nearest-neighbour rows on a 3x3 grid.
+        assert model.in_crosstalk((0, 1), (3, 4))
+
+    def test_far_edges_no_crosstalk(self, model):
+        assert not model.in_crosstalk((0, 1), (7, 8))
+
+
+class TestEsp:
+    def test_empty_circuit_esp_is_one(self, model):
+        assert model.esp(Circuit(9)) == pytest.approx(1.0)
+
+    def test_esp_decreases_with_gates(self, model):
+        c1 = Circuit(9, [Op.cphase(0, 1)])
+        c2 = Circuit(9, [Op.cphase(0, 1), Op.swap(1, 2)])
+        assert model.esp(c2) < model.esp(c1) < 1.0
+
+    def test_esp_matches_manual_product(self):
+        m = uniform_noise_model(line(3), cx_error=0.01)
+        c = Circuit(3, [Op.cphase(0, 1), Op.swap(1, 2)])
+        # 2 CX + 3 CX at error 0.01 each.
+        assert m.esp(c) == pytest.approx((1 - 0.01) ** 5)
+
+    def test_fused_pair_costs_three_cx(self):
+        m = uniform_noise_model(line(2), cx_error=0.01)
+        c = Circuit(2, [Op.cphase(0, 1), Op.swap(0, 1)])
+        assert m.esp(c) == pytest.approx((1 - 0.01) ** 3)
+
+    def test_cx_per_edge_accounting(self, model):
+        c = Circuit(9, [Op.cphase(0, 1), Op.swap(0, 1), Op.swap(1, 2)])
+        counts = model.cx_per_edge(c)
+        assert counts[(0, 1)] == 3  # fused
+        assert counts[(1, 2)] == 3
+
+    def test_single_qubit_gates_count(self):
+        m = uniform_noise_model(line(2), cx_error=0.01)
+        c = Circuit(2, [Op.h(0)])
+        assert m.esp(c) == pytest.approx(1 - m.sq_error)
+
+    def test_readout_included_when_asked(self, model):
+        c = Circuit(9, [Op.cphase(0, 1)])
+        assert model.esp(c, include_readout=True) < model.esp(c)

@@ -1,0 +1,82 @@
+"""Tests for the 2xUnit grid bipartite pattern (Fig 8/9)."""
+
+import pytest
+
+from repro.ata.base import GATE
+from repro.ata.bipartite_pattern import BipartitePattern
+
+
+def simulate(pattern):
+    """Returns (met cross pairs, final row contents, n cycles)."""
+    n = len(pattern.row_a)
+    occupant = {}
+    for i, q in enumerate(pattern.row_a):
+        occupant[q] = ("a", i)
+    for i, q in enumerate(pattern.row_b):
+        occupant[q] = ("b", i)
+    met = []
+    n_cycles = 0
+    for cycle in pattern.cycles():
+        n_cycles += 1
+        swaps = []
+        for action, u, v in cycle:
+            if action == GATE:
+                met.append(frozenset((occupant[u], occupant[v])))
+            else:
+                swaps.append((u, v))
+        for u, v in swaps:
+            occupant[u], occupant[v] = occupant[v], occupant[u]
+    final_a = [occupant[q] for q in pattern.row_a]
+    final_b = [occupant[q] for q in pattern.row_b]
+    return met, final_a, final_b, n_cycles
+
+
+@pytest.mark.parametrize("n", range(1, 13))
+def test_bipartite_all_to_all_exactly_once(n):
+    pattern = BipartitePattern(list(range(n)), list(range(n, 2 * n)))
+    met, _, _, n_cycles = simulate(pattern)
+    expected = {frozenset((("a", i), ("b", j)))
+                for i in range(n) for j in range(n)}
+    assert set(met) == expected
+    # "each node on the top row [is] neighbor to each node in the bottom row
+    # once and only once" (Section 3.1).
+    assert len(met) == len(expected)
+    assert n_cycles == 2 * n
+
+
+@pytest.mark.parametrize("n", range(2, 10))
+def test_occupants_never_leave_their_row(n):
+    pattern = BipartitePattern(list(range(n)), list(range(n, 2 * n)))
+    _, final_a, final_b, _ = simulate(pattern)
+    assert all(tag == "a" for tag, _ in final_a)
+    assert all(tag == "b" for tag, _ in final_b)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+def test_rows_end_reversed(n):
+    pattern = BipartitePattern(list(range(n)), list(range(n, 2 * n)))
+    _, final_a, final_b, _ = simulate(pattern)
+    assert final_a == [("a", i) for i in range(n - 1, -1, -1)]
+    assert final_b == [("b", i) for i in range(n - 1, -1, -1)]
+
+
+def test_cycles_are_disjoint():
+    pattern = BipartitePattern([0, 1, 2, 3], [4, 5, 6, 7])
+    for cycle in pattern.cycles():
+        qubits = [q for _, u, v in cycle for q in (u, v)]
+        assert len(qubits) == len(set(qubits))
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        BipartitePattern([0, 1], [2])
+
+
+def test_shared_qubits_rejected():
+    with pytest.raises(ValueError):
+        BipartitePattern([0, 1], [1, 2])
+
+
+def test_region():
+    pattern = BipartitePattern([0, 1], [5, 6])
+    assert pattern.region == frozenset({0, 1, 5, 6})

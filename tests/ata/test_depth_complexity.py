@@ -1,0 +1,70 @@
+"""Numerical checks of the claimed cycle complexities per pattern family.
+
+These pin down the *constants*, not just linearity: a regression that
+doubles a schedule's length would pass a loose O(n) test but fail these.
+"""
+
+import pytest
+
+from repro.arch import cube, grid, heavyhex, hexagon, line, sycamore
+from repro.ata import get_pattern, pattern_length
+from repro.ata.grid_pattern import GridCliquePattern, OptimizedGridPattern
+
+
+class TestScheduleLengths:
+    @pytest.mark.parametrize("m", [4, 8, 16, 24])
+    def test_line_is_two_n(self, m):
+        assert pattern_length(get_pattern(line(m))) == 2 * m
+
+    @pytest.mark.parametrize("shape", [(4, 4), (6, 6), (4, 8)])
+    def test_merged_grid_is_one_point_five_n(self, shape):
+        rows, cols = shape
+        expected = -(-rows // 2) * (3 * cols + 2) - 2
+        assert pattern_length(
+            OptimizedGridPattern(grid(*shape).metadata["units"])) == expected
+
+    @pytest.mark.parametrize("shape", [(4, 4), (6, 6)])
+    def test_unmerged_grid_is_about_two_n(self, shape):
+        rows, cols = shape
+        n = rows * cols
+        length = pattern_length(
+            GridCliquePattern(grid(*shape).metadata["units"]))
+        assert 2 * n - 5 <= length <= 2 * n + 2 * cols + rows + 5
+
+    @pytest.mark.parametrize("shape", [(4, 4), (5, 5)])
+    def test_sycamore_is_about_four_n(self, shape):
+        n = shape[0] * shape[1]
+        length = pattern_length(get_pattern(sycamore(*shape)))
+        assert length <= 4 * n + 4 * shape[1] + 8
+
+    @pytest.mark.parametrize("shape", [(4, 4), (6, 4)])
+    def test_hexagon_is_about_four_n(self, shape):
+        n = shape[0] * shape[1]
+        length = pattern_length(get_pattern(hexagon(*shape)))
+        assert length <= 4 * n + 4 * shape[0] + 8
+
+    def test_cube_is_about_four_n(self):
+        coupling = cube(3, 3, 3)
+        length = pattern_length(get_pattern(coupling))
+        assert length <= 4 * 27 + 40
+
+    @pytest.mark.parametrize("rows", [2, 3, 4])
+    def test_heavyhex_is_about_four_path_lengths(self, rows):
+        coupling = heavyhex(rows, 6)
+        path_len = len(coupling.metadata["path"])
+        length = pattern_length(get_pattern(coupling))
+        # Two line passes (2 * 2p) plus interleave and exchange cycles.
+        assert length <= 6 * path_len + 10
+
+
+class TestMergedGridBeatsFamilies:
+    """The ordering merged < snake < unmerged must hold across shapes."""
+
+    @pytest.mark.parametrize("shape", [(4, 4), (4, 6), (6, 6), (8, 8)])
+    def test_schedule_length_ordering(self, shape):
+        units = grid(*shape).metadata["units"]
+        n = shape[0] * shape[1]
+        merged = pattern_length(OptimizedGridPattern(units))
+        unmerged = pattern_length(GridCliquePattern(units))
+        snake = 2 * n  # line pattern over the boustrophedon
+        assert merged < snake < unmerged

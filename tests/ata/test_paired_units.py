@@ -1,0 +1,106 @@
+"""Detailed tests for the Sycamore / hexagon unit-transposition patterns."""
+
+import pytest
+
+from repro.arch import hexagon, sycamore
+from repro.ata import HexagonPattern, SycamorePattern, get_pattern
+from repro.ata.base import GATE
+from repro.ir.mapping import Mapping
+from repro.ata.executor import execute_pattern
+from repro.ir.validate import validate_compiled
+from repro.problems import clique
+
+
+def pattern_actions_use_valid_couplings(pattern, coupling):
+    for cycle in pattern.cycles():
+        for _, u, v in cycle:
+            assert coupling.has_edge(u, v), (u, v)
+
+
+class TestSycamorePattern:
+    def test_all_actions_on_couplings(self):
+        coupling = sycamore(4, 5)
+        pattern_actions_use_valid_couplings(get_pattern(coupling), coupling)
+
+    def test_pair_paths_alternate_units(self):
+        coupling = sycamore(4, 4)
+        pattern = SycamorePattern.for_architecture(coupling)
+        for r in range(3):
+            path = pattern._pair_path(r)
+            rows = [q // 4 for q in path]
+            assert set(rows) == {r, r + 1}
+            assert rows[0] != rows[1]  # strictly alternating chain
+            assert len(path) == 8
+
+    def test_requires_two_rows(self):
+        with pytest.raises(ValueError):
+            SycamorePattern(4, (2, 2), (0, 3))
+
+    def test_restricted_region_clique(self):
+        coupling = sycamore(5, 5)
+        pattern = get_pattern(coupling)
+        qubits = [6, 7, 11, 12]  # rows 1-2, cols 1-2
+        sub = pattern.restrict(qubits)
+        mapping = Mapping(qubits, 25)
+        problem = clique(4)
+        circuit, _, residual = execute_pattern(sub, mapping, problem.edges,
+                                               n_physical=25)
+        assert not residual
+        validate_compiled(circuit, coupling.edges, mapping, problem.edges)
+        touched = {q for op in circuit for q in op.qubits}
+        assert touched <= sub.region
+
+
+class TestHexagonPattern:
+    def test_all_actions_on_couplings(self):
+        coupling = hexagon(6, 5)
+        pattern_actions_use_valid_couplings(get_pattern(coupling), coupling)
+
+    def test_pair_path_crossing_link_exists(self):
+        coupling = hexagon(4, 4)
+        pattern = HexagonPattern.for_architecture(coupling)
+        for c in range(3):
+            path = pattern._pair_path(c)
+            assert len(path) == 8
+            for a, b in zip(path, path[1:]):
+                assert coupling.has_edge(a, b), (c, a, b)
+
+    def test_odd_row_range_rejected_for_multi_column(self):
+        with pytest.raises(ValueError):
+            HexagonPattern(6, (0, 2), (0, 2))  # 3-row range, 3 columns
+
+    def test_single_column_is_a_line(self):
+        coupling = hexagon(6, 1)
+        pattern = get_pattern(coupling)
+        cycles = list(pattern.cycles())
+        assert cycles  # behaves as the 1xUnit line solution
+        gates = [a for cyc in cycles for a in cyc if a[0] == GATE]
+        assert gates
+
+    def test_restricted_region_clique(self):
+        coupling = hexagon(6, 4)
+        pattern = get_pattern(coupling)
+        qubits = [0, 1, 6, 7]  # cols 0-1, rows 0-1
+        sub = pattern.restrict(qubits)
+        mapping = Mapping(qubits, coupling.n_qubits)
+        problem = clique(4)
+        circuit, _, residual = execute_pattern(
+            sub, mapping, problem.edges, n_physical=coupling.n_qubits)
+        assert not residual
+        validate_compiled(circuit, coupling.edges, mapping, problem.edges)
+
+
+class TestHeavyHexPatternDetails:
+    def test_actions_on_couplings(self):
+        from repro.arch import heavyhex
+        coupling = heavyhex(3, 6)
+        pattern_actions_use_valid_couplings(get_pattern(coupling), coupling)
+
+    def test_exchange_layer_disjoint(self):
+        from repro.arch import heavyhex
+        from repro.ata import HeavyHexPattern
+        coupling = heavyhex(4, 10)
+        pattern = HeavyHexPattern.for_architecture(coupling)
+        exchange = pattern._exchange()
+        qubits = [q for _, u, v in exchange for q in (u, v)]
+        assert len(qubits) == len(set(qubits))

@@ -1,0 +1,76 @@
+"""Tests for the shared baseline routing helpers."""
+
+import pytest
+
+from repro.arch import grid, line
+from repro.baselines.routing import (mapping_cost, matching_layers,
+                                     route_and_execute)
+from repro.ir.circuit import Circuit
+from repro.ir.gates import CPHASE
+from repro.ir.mapping import Mapping
+from repro.ir.validate import validate_compiled
+from repro.problems import ProblemGraph, clique
+
+
+class TestRouteAndExecute:
+    def test_adjacent_pair_direct(self):
+        coupling = line(3)
+        circuit = Circuit(3)
+        mapping = Mapping.trivial(3)
+        route_and_execute(coupling, circuit, mapping, (0, 1))
+        assert circuit.swap_count == 0
+        assert circuit.cphase_count == 1
+
+    def test_distant_pair_routes(self):
+        coupling = line(5)
+        circuit = Circuit(5)
+        mapping = Mapping.trivial(5)
+        route_and_execute(coupling, circuit, mapping, (0, 4))
+        assert circuit.swap_count == 3
+        validate_compiled(circuit, coupling.edges, Mapping.trivial(5),
+                          [(0, 4)])
+
+    def test_gamma_and_tag(self):
+        coupling = line(3)
+        circuit = Circuit(3)
+        mapping = Mapping.trivial(3)
+        route_and_execute(coupling, circuit, mapping, (0, 2), gamma=0.3)
+        gate = [op for op in circuit if op.kind == CPHASE][0]
+        assert gate.param == 0.3
+        assert gate.tag == (0, 2)
+
+    def test_sequence_of_routes_stays_consistent(self):
+        coupling = grid(3, 3)
+        circuit = Circuit(9)
+        mapping = Mapping.trivial(9)
+        pairs = [(0, 8), (1, 7), (2, 6)]
+        for pair in pairs:
+            route_and_execute(coupling, circuit, mapping, pair)
+        validate_compiled(circuit, coupling.edges, Mapping.trivial(9),
+                          pairs)
+
+
+class TestMappingCost:
+    def test_trivial_line_cost(self):
+        coupling = line(4)
+        problem = ProblemGraph(4, [(0, 3), (1, 2)])
+        cost = mapping_cost(coupling, Mapping.trivial(4), problem)
+        assert cost == 3 + 1
+
+    def test_zero_for_empty_problem(self):
+        coupling = line(3)
+        problem = ProblemGraph(3, [])
+        assert mapping_cost(coupling, Mapping.trivial(3), problem) == 0
+
+
+class TestMatchingLayersExtra:
+    def test_clique_layer_count(self):
+        # Edge colouring of K_n needs n-1 (even n) or n (odd n) matchings;
+        # the greedy layering should stay within 2x of that bound.
+        for n in (4, 5, 6, 7):
+            layers = matching_layers(clique(n))
+            optimal = n - 1 if n % 2 == 0 else n
+            assert len(layers) <= 2 * optimal
+
+    def test_empty_problem(self):
+        assert matching_layers(ProblemGraph(3, [])) == []

@@ -1,0 +1,137 @@
+"""End-to-end tests of the hybrid compiler (Fig 18) and its guarantees."""
+
+import pytest
+
+from repro.arch import (NoiseModel, grid, heavyhex, hexagon, line, sycamore)
+from repro.compiler import compile_qaoa
+from repro.problems import clique, random_problem_graph, regular_problem_graph
+
+
+ARCHES = {
+    "line": lambda: line(12),
+    "grid": lambda: grid(4, 4),
+    "sycamore": lambda: sycamore(4, 4),
+    "hexagon": lambda: hexagon(4, 4),
+    "heavyhex": lambda: heavyhex(2, 6),
+}
+
+
+def compile_and_check(coupling, problem, **kwargs):
+    result = compile_qaoa(coupling, problem, **kwargs)
+    result.validate(coupling, problem)
+    return result
+
+
+class TestAllMethodsAllArchitectures:
+    @pytest.mark.parametrize("arch", ARCHES)
+    @pytest.mark.parametrize("method", ["greedy", "ata", "hybrid"])
+    def test_random_graph_compiles_and_validates(self, arch, method):
+        coupling = ARCHES[arch]()
+        n = min(coupling.n_qubits, 12)
+        problem = random_problem_graph(n, 0.35, seed=3)
+        compile_and_check(coupling, problem, method=method)
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_clique_compiles(self, arch):
+        coupling = ARCHES[arch]()
+        n = min(coupling.n_qubits, 10)
+        compile_and_check(coupling, clique(n), method="hybrid")
+
+
+class TestTheorem61:
+    """Hybrid must never lose (in the selector's F) to pure ATA."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_hybrid_no_worse_than_ata_in_score(self, seed):
+        coupling = grid(4, 4)
+        problem = random_problem_graph(14, 0.3, seed=seed)
+        hybrid = compile_and_check(coupling, problem, method="hybrid")
+        scores = hybrid.extra["scores"]
+        best = min(scores.values())
+        if "ata" in scores:
+            assert best <= scores["ata"] + 1e-12
+        assert best <= scores["greedy"] + 1e-12
+
+    def test_depth_alpha_one_tracks_best_depth(self):
+        # With alpha=1 the selector optimises depth only.
+        coupling = grid(4, 4)
+        problem = random_problem_graph(14, 0.3, seed=7)
+        hybrid = compile_and_check(coupling, problem, method="hybrid",
+                                   alpha=1.0)
+        greedy = compile_and_check(coupling, problem, method="greedy")
+        ata = compile_and_check(coupling, problem, method="ata")
+        assert hybrid.depth() <= min(greedy.depth(), ata.depth())
+
+
+class TestSparseVsDenseBehaviour:
+    def test_sparse_prefers_greedy_like_depth(self):
+        # A single far pair: greedy routes directly; rigid ATA would run
+        # the whole pattern.
+        coupling = grid(4, 4)
+        problem = random_problem_graph(16, 0.05, seed=1)
+        hybrid = compile_and_check(coupling, problem, method="hybrid")
+        ata = compile_and_check(coupling, problem, method="ata",
+                                use_range_detection=False)
+        assert hybrid.depth() <= ata.depth()
+
+    def test_dense_large_ata_beats_greedy_depth(self):
+        # The crossover of Section 5.4: the structured solution wins on
+        # dense inputs at scale (here: full clique on 6x6).
+        coupling = grid(6, 6)
+        problem = clique(36)
+        greedy = compile_and_check(coupling, problem, method="greedy")
+        ata = compile_and_check(coupling, problem, method="ata")
+        assert ata.depth() <= greedy.depth()
+
+
+class TestOptions:
+    def test_noise_aware_compilation(self):
+        coupling = grid(4, 4)
+        noise = NoiseModel(coupling, seed=3)
+        problem = random_problem_graph(12, 0.3, seed=5)
+        result = compile_and_check(coupling, problem, method="hybrid",
+                                   noise=noise)
+        assert 0.0 < result.esp(noise) < 1.0
+
+    def test_degree_placement(self):
+        coupling = grid(4, 4)
+        problem = random_problem_graph(12, 0.3, seed=5)
+        compile_and_check(coupling, problem, method="greedy",
+                          placement="degree")
+
+    def test_exact_matching(self):
+        coupling = grid(3, 3)
+        problem = random_problem_graph(9, 0.4, seed=2)
+        compile_and_check(coupling, problem, method="greedy",
+                          matching="exact")
+
+    def test_gamma_propagates(self):
+        coupling = line(4)
+        problem = clique(4)
+        result = compile_and_check(coupling, problem, method="hybrid",
+                                   gamma=0.9)
+        from repro.ir.gates import CPHASE
+        gates = [op for op in result.circuit if op.kind == CPHASE]
+        assert gates and all(op.param == 0.9 for op in gates)
+
+    def test_oversized_problem_rejected(self):
+        with pytest.raises(ValueError):
+            compile_qaoa(line(3), clique(5))
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            compile_qaoa(line(3), clique(3), method="magic")
+
+    def test_selected_label_recorded(self):
+        result = compile_and_check(grid(3, 3),
+                                   random_problem_graph(9, 0.4, seed=0))
+        assert "selected" in result.extra
+        assert result.extra["n_candidates"] >= 2
+
+
+class TestHamiltonianInputs:
+    def test_ising_on_heavyhex(self):
+        from repro.problems import nnn_ising_1d
+        coupling = heavyhex(3, 10)
+        problem = nnn_ising_1d(24)
+        compile_and_check(coupling, problem, method="hybrid")

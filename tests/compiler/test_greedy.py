@@ -1,0 +1,130 @@
+"""Engine-level tests for the greedy component (Section 6.2)."""
+
+import pytest
+
+from repro.arch import grid, line, uniform_noise_model
+from repro.compiler.greedy import greedy_compile
+from repro.compiler.mapping import trivial_placement
+from repro.exceptions import CompilationError
+from repro.ir.gates import CPHASE, SWAP
+from repro.ir.validate import validate_compiled
+from repro.problems import ProblemGraph, clique, random_problem_graph
+
+
+def run(coupling, problem, **kwargs):
+    mapping = trivial_placement(coupling, problem)
+    trace = greedy_compile(coupling, problem, mapping, **kwargs)
+    if not trace.remaining:
+        validate_compiled(trace.circuit, coupling.edges, mapping,
+                          problem.edges)
+    return trace
+
+
+class TestBasicOperation:
+    def test_adjacent_gates_no_swaps(self):
+        coupling = line(4)
+        problem = ProblemGraph(4, [(0, 1), (2, 3)])
+        trace = run(coupling, problem)
+        assert trace.circuit.swap_count == 0
+        assert trace.cycles == 1
+
+    def test_empty_problem(self):
+        trace = run(line(3), ProblemGraph(3, []))
+        assert len(trace.circuit) == 0
+        assert trace.cycles == 0
+
+    def test_completes_clique(self):
+        trace = run(grid(3, 3), clique(9))
+        assert not trace.remaining
+
+    def test_final_mapping_consistent_with_swaps(self):
+        coupling = line(5)
+        problem = random_problem_graph(5, 0.6, seed=3)
+        mapping = trivial_placement(coupling, problem)
+        trace = greedy_compile(coupling, problem, mapping)
+        report = validate_compiled(trace.circuit, coupling.edges, mapping,
+                                   problem.edges)
+        assert report.final_mapping.log_to_phys == trace.final_mapping.log_to_phys
+
+
+class TestSnapshots:
+    def test_snapshot_zero_recorded(self):
+        trace = run(line(6), random_problem_graph(6, 0.5, seed=1),
+                    record_snapshots=True)
+        assert trace.snapshots[0].cycle == 0
+        assert trace.snapshots[0].op_count == 0
+
+    def test_snapshots_track_mapping_changes(self):
+        coupling = line(6)
+        problem = random_problem_graph(6, 0.5, seed=1)
+        mapping = trivial_placement(coupling, problem)
+        trace = greedy_compile(coupling, problem, mapping,
+                               record_snapshots=True)
+        for snapshot in trace.snapshots:
+            # Replay the prefix: the recorded mapping must match.
+            replay = mapping.copy()
+            for op in trace.circuit.ops[:snapshot.op_count]:
+                if op.kind == SWAP:
+                    replay.swap_physical(*op.qubits)
+            assert replay.log_to_phys == snapshot.mapping.log_to_phys
+
+    def test_snapshot_remaining_matches_prefix(self):
+        coupling = line(8)
+        problem = random_problem_graph(8, 0.4, seed=2)
+        mapping = trivial_placement(coupling, problem)
+        trace = greedy_compile(coupling, problem, mapping,
+                               record_snapshots=True)
+        for snapshot in trace.snapshots:
+            executed = {op.tag for op in trace.circuit.ops[:snapshot.op_count]
+                        if op.kind == CPHASE}
+            assert executed.isdisjoint(snapshot.remaining)
+            assert len(executed) + len(snapshot.remaining) == problem.n_edges
+
+    def test_no_snapshots_when_disabled(self):
+        trace = run(line(6), random_problem_graph(6, 0.5, seed=1),
+                    record_snapshots=False)
+        assert trace.snapshots == []
+
+
+class TestMaxCycles:
+    def test_cap_leaves_remainder(self):
+        coupling = line(8)
+        problem = clique(8)
+        trace = run(coupling, problem, max_cycles=2,
+                    record_snapshots=True)
+        assert trace.remaining
+        assert trace.cycles == 2
+        # Terminal snapshot present for suffix splicing.
+        assert trace.snapshots[-1].remaining == trace.remaining
+
+    def test_zero_cap_is_pure_snapshot(self):
+        trace = run(line(6), clique(6), max_cycles=0,
+                    record_snapshots=True)
+        assert len(trace.circuit) == 0
+        assert len(trace.remaining) == clique(6).n_edges
+
+
+class TestUnification:
+    def test_unified_swaps_execute_pending_gate(self):
+        coupling = line(6)
+        problem = clique(6)
+        plain = run(coupling, problem, unify_swaps=False)
+        unified = run(coupling, problem, unify_swaps=True)
+        assert unified.circuit.cx_count(unify=True) <= \
+            plain.circuit.cx_count(unify=True)
+
+    def test_unify_preserves_validity(self):
+        coupling = grid(3, 3)
+        problem = random_problem_graph(9, 0.5, seed=4)
+        run(coupling, problem, unify_swaps=True)
+
+
+class TestGateSelectionModes:
+    def test_greedy_mode_valid(self):
+        run(grid(3, 3), random_problem_graph(9, 0.5, seed=5),
+            gate_selection="greedy")
+
+    def test_color_mode_with_noise(self):
+        coupling = grid(3, 3)
+        noise = uniform_noise_model(coupling)
+        run(coupling, random_problem_graph(9, 0.5, seed=5), noise=noise)

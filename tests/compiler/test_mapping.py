@@ -1,0 +1,103 @@
+"""Tests for initial placement strategies."""
+
+import pytest
+
+from repro.arch import NoiseModel, grid, heavyhex, line
+from repro.baselines.routing import mapping_cost
+from repro.compiler.mapping import (degree_placement, noise_aware_placement,
+                                    quadratic_placement, trivial_placement)
+from repro.problems import clique, random_problem_graph
+
+
+@pytest.fixture
+def setting():
+    coupling = grid(4, 4)
+    problem = random_problem_graph(10, 0.4, seed=3)
+    return coupling, problem
+
+
+class TestTrivial:
+    def test_identity(self, setting):
+        coupling, problem = setting
+        m = trivial_placement(coupling, problem)
+        assert m.log_to_phys == list(range(10))
+
+
+class TestDegree:
+    def test_bijective(self, setting):
+        coupling, problem = setting
+        m = degree_placement(coupling, problem)
+        assert len(set(m.log_to_phys)) == problem.n_vertices
+
+    def test_highest_degree_vertex_central(self, setting):
+        coupling, problem = setting
+        m = degree_placement(coupling, problem)
+        degrees = problem.degrees()
+        busiest = max(range(10), key=lambda v: degrees[v])
+        home = m.physical(busiest)
+        ecc = coupling.distance_matrix.max(axis=1)
+        assert ecc[home] == ecc.min()
+
+
+class TestQuadratic:
+    def test_never_worse_than_degree(self, setting):
+        coupling, problem = setting
+        base = mapping_cost(coupling, degree_placement(coupling, problem),
+                            problem)
+        improved = mapping_cost(
+            coupling, quadratic_placement(coupling, problem), problem)
+        assert improved <= base
+
+    def test_seed_reproducible(self, setting):
+        coupling, problem = setting
+        a = quadratic_placement(coupling, problem, seed=4)
+        b = quadratic_placement(coupling, problem, seed=4)
+        assert a.log_to_phys == b.log_to_phys
+
+
+class TestNoiseAware:
+    def test_region_is_connected(self):
+        coupling = heavyhex(3, 6)
+        problem = random_problem_graph(12, 0.3, seed=1)
+        noise = NoiseModel(coupling, seed=7)
+        m = noise_aware_placement(coupling, problem, noise)
+        used = sorted(m.log_to_phys)
+        # Connectivity: BFS within the used set reaches everything.
+        used_set = set(used)
+        frontier = [used[0]]
+        seen = {used[0]}
+        while frontier:
+            nxt = []
+            for q in frontier:
+                for n in coupling.neighbors(q):
+                    if n in used_set and n not in seen:
+                        seen.add(n)
+                        nxt.append(n)
+            frontier = nxt
+        assert seen == used_set
+
+    def test_avoids_worst_qubit(self):
+        coupling = line(6)
+        problem = clique(3)
+        noise = NoiseModel(coupling, seed=1)
+        # Poison one end of the line.
+        noise.readout_error[5] = 0.9
+        noise.cx_error[(4, 5)] = 0.08
+        m = noise_aware_placement(coupling, problem, noise)
+        assert 5 not in m.log_to_phys
+
+    def test_compile_with_noise_placement(self):
+        from repro.compiler import compile_qaoa
+        coupling = grid(4, 4)
+        problem = random_problem_graph(10, 0.4, seed=3)
+        noise = NoiseModel(coupling, seed=2)
+        result = compile_qaoa(coupling, problem, placement="noise",
+                              noise=noise)
+        result.validate(coupling, problem)
+
+    def test_noise_placement_falls_back_without_model(self):
+        from repro.compiler import compile_qaoa
+        coupling = grid(4, 4)
+        problem = random_problem_graph(10, 0.4, seed=3)
+        result = compile_qaoa(coupling, problem, placement="noise")
+        result.validate(coupling, problem)

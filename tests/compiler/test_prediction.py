@@ -1,0 +1,136 @@
+"""Tests for the ATA-prediction component (range detection, suffixes)."""
+
+import pytest
+
+from repro.arch import grid, heavyhex, line
+from repro.ata import get_pattern
+from repro.compiler.prediction import ata_suffix, detect_ranges
+from repro.ir.mapping import Mapping
+from repro.ir.validate import validate_compiled
+from repro.problems import clique, random_problem_graph
+
+
+class TestDetectRanges:
+    def test_single_component_single_region(self):
+        coupling = line(10)
+        pattern = get_pattern(coupling)
+        mapping = Mapping.trivial(10)
+        plan = detect_ranges(pattern, mapping, [(0, 1), (1, 3)])
+        assert len(plan) == 1
+        region, edges = plan[0]
+        assert edges == {(0, 1), (1, 3)}
+        assert region.region == frozenset({0, 1, 2, 3})
+
+    def test_disjoint_components_get_disjoint_regions(self):
+        coupling = line(12)
+        pattern = get_pattern(coupling)
+        mapping = Mapping.trivial(12)
+        plan = detect_ranges(pattern, mapping, [(0, 2), (8, 11)])
+        assert len(plan) == 2
+        regions = [p.region for p, _ in plan]
+        assert regions[0] & regions[1] == frozenset()
+
+    def test_overlapping_regions_merge(self):
+        coupling = line(10)
+        pattern = get_pattern(coupling)
+        mapping = Mapping.trivial(10)
+        # Components {0,5} and {3,8}: segments [0,5] and [3,8] overlap.
+        plan = detect_ranges(pattern, mapping, [(0, 5), (3, 8)])
+        assert len(plan) == 1
+        region, edges = plan[0]
+        assert edges == {(0, 5), (3, 8)}
+        assert region.region == frozenset(range(9))
+
+    def test_empty_remaining(self):
+        coupling = line(4)
+        plan = detect_ranges(get_pattern(coupling), Mapping.trivial(4), [])
+        assert plan == []
+
+    def test_grid_components_in_separate_corners(self):
+        coupling = grid(5, 5)
+        pattern = get_pattern(coupling)
+        # Logical 0,1 in the top-left corner; 2,3 in the bottom-right.
+        mapping = Mapping([0, 1, 23, 24], 25)
+        plan = detect_ranges(pattern, mapping, [(0, 1), (2, 3)])
+        assert len(plan) == 2
+
+
+class TestAtaSuffix:
+    def test_suffix_completes_remaining_edges(self):
+        coupling = grid(4, 4)
+        problem = random_problem_graph(16, 0.3, seed=8)
+        mapping = Mapping.trivial(16)
+        circuit, final = ata_suffix(coupling, get_pattern(coupling),
+                                    mapping, problem.edges)
+        validate_compiled(circuit, coupling.edges, mapping, problem.edges)
+        assert final.n_logical == 16
+
+    def test_range_detection_reduces_depth_for_local_components(self):
+        coupling = line(20)
+        pattern = get_pattern(coupling)
+        mapping = Mapping.trivial(20)
+        edges = [(0, 1), (1, 2), (17, 19)]
+        with_ranges, _ = ata_suffix(coupling, pattern, mapping, edges,
+                                    use_range_detection=True)
+        without, _ = ata_suffix(coupling, pattern, mapping, edges,
+                                use_range_detection=False)
+        validate_compiled(with_ranges, coupling.edges, mapping, edges)
+        validate_compiled(without, coupling.edges, mapping, edges)
+        assert with_ranges.depth() <= without.depth()
+        assert len(with_ranges) <= len(without)
+
+    def test_suffix_on_heavyhex_clique(self):
+        coupling = heavyhex(2, 6)
+        n = coupling.n_qubits
+        problem = clique(n)
+        mapping = Mapping.trivial(n)
+        circuit, _ = ata_suffix(coupling, get_pattern(coupling), mapping,
+                                problem.edges)
+        validate_compiled(circuit, coupling.edges, mapping, problem.edges)
+
+    def test_suffix_appends_to_prefix(self):
+        from repro.ir.circuit import Circuit
+        from repro.ir.gates import Op
+        coupling = line(4)
+        prefix = Circuit(4, [Op.cphase(0, 1, tag=(0, 1))])
+        mapping = Mapping.trivial(4)
+        circuit, _ = ata_suffix(coupling, get_pattern(coupling), mapping,
+                                [(2, 3)], circuit=prefix)
+        assert circuit is prefix
+        validate_compiled(circuit, coupling.edges, Mapping.trivial(4),
+                          [(0, 1), (2, 3)])
+
+
+class TestSelector:
+    def test_cost_f_alpha_bounds(self):
+        from repro.compiler.selector import cost_f
+        with pytest.raises(ValueError):
+            cost_f(1, 1, 1, 1, None, alpha=1.5)
+
+    def test_cost_f_depth_only(self):
+        from repro.compiler.selector import cost_f
+        assert cost_f(50, 999, 100, 100, None, alpha=1.0) == pytest.approx(0.5)
+
+    def test_cost_f_gate_ratio_without_noise(self):
+        from repro.compiler.selector import cost_f
+        f = cost_f(100, 50, 100, 100, None, alpha=0.0)
+        assert f == pytest.approx(0.5)
+
+    def test_cost_f_esp_term(self):
+        from repro.compiler.selector import cost_f
+        perfect = cost_f(100, 100, 100, 100, esp=1.0, alpha=0.0)
+        noisy = cost_f(100, 100, 100, 100, esp=0.5, alpha=0.0)
+        assert perfect == pytest.approx(0.0)
+        assert noisy > perfect
+
+    def test_score_candidates_picks_min(self):
+        from repro.compiler.selector import Candidate, score_candidates
+        a = Candidate("a", None, depth=100, gate_count=100, esp=None)
+        b = Candidate("b", None, depth=50, gate_count=50, esp=None)
+        best = score_candidates([a, b], greedy_depth=100, greedy_gates=100)
+        assert best.label == "b"
+
+    def test_score_candidates_empty_rejected(self):
+        from repro.compiler.selector import score_candidates
+        with pytest.raises(ValueError):
+            score_candidates([], 1, 1)

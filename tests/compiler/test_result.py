@@ -1,0 +1,64 @@
+"""Tests for the CompiledResult container."""
+
+import pytest
+
+from repro.arch import NoiseModel, line
+from repro.compiler import CompiledResult, compile_qaoa
+from repro.exceptions import ValidationError
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Op
+from repro.ir.mapping import Mapping
+from repro.problems import ProblemGraph, clique
+
+
+@pytest.fixture
+def result():
+    coupling = line(5)
+    return compile_qaoa(coupling, clique(5), method="hybrid"), coupling
+
+
+class TestMetrics:
+    def test_depth_positive(self, result):
+        compiled, _ = result
+        assert compiled.depth() > 0
+
+    def test_gate_count_uses_fusion(self, result):
+        compiled, _ = result
+        assert compiled.gate_count == compiled.cx_count(unify=True)
+        assert compiled.gate_count <= compiled.cx_count(unify=False)
+
+    def test_swap_count(self, result):
+        compiled, _ = result
+        assert compiled.swap_count == compiled.circuit.swap_count
+
+    def test_esp(self, result):
+        compiled, coupling = result
+        noise = NoiseModel(coupling)
+        assert 0 < compiled.esp(noise) < 1
+
+    def test_summary_mentions_method(self, result):
+        compiled, _ = result
+        text = compiled.summary()
+        assert "hybrid" in text
+        assert "depth=" in text
+
+
+class TestValidation:
+    def test_validate_passes(self, result):
+        compiled, coupling = result
+        report = compiled.validate(coupling, clique(5))
+        assert report.n_edges == 10
+
+    def test_validate_catches_forged_result(self):
+        coupling = line(3)
+        # A circuit that claims to implement clique(3) but misses an edge.
+        bogus = CompiledResult(
+            circuit=Circuit(3, [Op.cphase(0, 1)]),
+            initial_mapping=Mapping.trivial(3),
+            method="bogus")
+        with pytest.raises(ValidationError):
+            bogus.validate(coupling, clique(3))
+
+    def test_wall_time_recorded(self, result):
+        compiled, _ = result
+        assert compiled.wall_time_s > 0

@@ -1,0 +1,49 @@
+"""Tests for the graph-colouring gate scheduler."""
+
+from repro.arch import NoiseModel, grid
+from repro.compiler.scheduling import select_gates
+
+
+def test_empty_input():
+    assert select_gates([]) == []
+
+
+def test_non_conflicting_gates_all_selected():
+    gates = [(0, 1, (0, 1)), (2, 3, (2, 3)), (4, 5, (4, 5))]
+    assert len(select_gates(gates)) == 3
+
+
+def test_shared_qubit_conflict_resolved():
+    gates = [(0, 1, (0, 1)), (1, 2, (1, 2))]
+    chosen = select_gates(gates)
+    assert len(chosen) == 1
+
+
+def test_chain_picks_maximal_class():
+    # Path conflicts 0-1, 1-2, 2-3: colouring yields alternating classes;
+    # largest class has 2 gates.
+    gates = [(0, 1, (0, 1)), (1, 2, (1, 2)), (2, 3, (2, 3)),
+             (3, 4, (3, 4))]
+    chosen = select_gates(gates)
+    assert len(chosen) == 2
+    qubits = [q for u, v, _ in chosen for q in (u, v)]
+    assert len(qubits) == len(set(qubits))
+
+
+def test_selected_gates_always_disjoint():
+    gates = [(0, 1, (0, 1)), (0, 2, (0, 2)), (1, 2, (1, 2)),
+             (3, 4, (3, 4)), (4, 5, (4, 5))]
+    chosen = select_gates(gates)
+    qubits = [q for u, v, _ in chosen for q in (u, v)]
+    assert len(qubits) == len(set(qubits))
+
+
+def test_crosstalk_aware_scheduling_splits_neighbours():
+    coupling = grid(3, 3)
+    noise = NoiseModel(coupling)
+    # (0,1) and (3,4) are parallel nearest-neighbour edges (crosstalk).
+    gates = [(0, 1, (0, 1)), (3, 4, (3, 4))]
+    with_ct = select_gates(gates, noise=noise, crosstalk_aware=True)
+    without_ct = select_gates(gates, noise=noise, crosstalk_aware=False)
+    assert len(with_ct) == 1
+    assert len(without_ct) == 2

@@ -1,0 +1,88 @@
+"""Shared test utilities: dense unitary construction for small circuits.
+
+Convention: qubit ``q`` corresponds to tensor axis ``q`` of the state
+reshaped to ``(2,) * n`` — i.e. qubit 0 is the most significant bit of the
+computational-basis index (big-endian), matching :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.gates import CPHASE, CX, H, PHASE, RX, RZ, SWAP, Op
+
+
+def _one_qubit_matrix(op: Op) -> np.ndarray:
+    theta = op.param or 0.0
+    if op.kind == H:
+        return np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+    if op.kind == RX:
+        c, s = np.cos(theta / 2), -1j * np.sin(theta / 2)
+        return np.array([[c, s], [s, c]], dtype=complex)
+    if op.kind == RZ:
+        return np.diag([np.exp(-1j * theta / 2), np.exp(1j * theta / 2)])
+    if op.kind == PHASE:
+        return np.diag([1.0, np.exp(1j * theta)]).astype(complex)
+    raise ValueError(f"unsupported 1q op {op!r}")
+
+
+def _two_qubit_matrix(op: Op) -> np.ndarray:
+    if op.kind == CX:
+        return np.array([[1, 0, 0, 0],
+                         [0, 1, 0, 0],
+                         [0, 0, 0, 1],
+                         [0, 0, 1, 0]], dtype=complex)
+    if op.kind == SWAP:
+        return np.array([[1, 0, 0, 0],
+                         [0, 0, 1, 0],
+                         [0, 1, 0, 0],
+                         [0, 0, 0, 1]], dtype=complex)
+    if op.kind == CPHASE:
+        g = op.param or 0.0
+        return np.diag([1, 1, 1, np.exp(1j * g)]).astype(complex)
+    raise ValueError(f"unsupported 2q op {op!r}")
+
+
+def op_unitary(op: Op, n: int) -> np.ndarray:
+    """Full 2^n x 2^n unitary for one op."""
+    dim = 2 ** n
+    unitary = np.zeros((dim, dim), dtype=complex)
+    if len(op.qubits) == 1:
+        small = _one_qubit_matrix(op)
+    else:
+        small = _two_qubit_matrix(op)
+    qubits = op.qubits
+    for col in range(dim):
+        bits = [(col >> (n - 1 - q)) & 1 for q in range(n)]
+        sub_col = 0
+        for q in qubits:
+            sub_col = (sub_col << 1) | bits[q]
+        for sub_row in range(small.shape[0]):
+            amp = small[sub_row, sub_col]
+            if amp == 0:
+                continue
+            new_bits = list(bits)
+            for k, q in enumerate(reversed(qubits)):
+                new_bits[q] = (sub_row >> k) & 1
+            row = 0
+            for q in range(n):
+                row = (row << 1) | new_bits[q]
+            unitary[row, col] += amp
+    return unitary
+
+
+def circuit_unitary(circuit) -> np.ndarray:
+    """Unitary of a whole (small!) circuit, ops applied left-to-right."""
+    n = circuit.n_qubits
+    total = np.eye(2 ** n, dtype=complex)
+    for op in circuit:
+        total = op_unitary(op, n) @ total
+    return total
+
+
+def assert_unitary_equal(u: np.ndarray, v: np.ndarray, atol: float = 1e-9) -> None:
+    """Equality up to global phase."""
+    index = np.unravel_index(np.argmax(np.abs(u)), u.shape)
+    phase = v[index] / u[index]
+    assert abs(abs(phase) - 1.0) < 1e-6, "matrices differ in magnitude"
+    np.testing.assert_allclose(u * phase, v, atol=atol)

@@ -1,0 +1,121 @@
+"""Tests for Circuit: ASAP layering, depth, counting, layer construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.circuit import Circuit, circuit_from_layers
+from repro.ir.gates import Op
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        c = Circuit(4)
+        assert len(c) == 0
+        assert c.depth() == 0
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+
+    def test_rejects_out_of_range_qubit(self):
+        c = Circuit(2)
+        with pytest.raises(ValueError):
+            c.append(Op.swap(0, 2))
+
+    def test_rejects_duplicate_qubits(self):
+        c = Circuit(3)
+        with pytest.raises(ValueError):
+            c.append(Op.swap(1, 1))
+
+    def test_concatenation(self):
+        a = Circuit(2, [Op.h(0)])
+        b = Circuit(2, [Op.h(1)])
+        c = a + b
+        assert len(c) == 2
+
+    def test_concatenation_width_mismatch(self):
+        with pytest.raises(ValueError):
+            Circuit(2) + Circuit(3)
+
+    def test_copy_is_independent(self):
+        a = Circuit(2, [Op.h(0)])
+        b = a.copy()
+        b.append(Op.h(1))
+        assert len(a) == 1
+        assert len(b) == 2
+
+
+class TestDepth:
+    def test_parallel_gates_share_a_cycle(self):
+        c = Circuit(4, [Op.cphase(0, 1), Op.cphase(2, 3)])
+        assert c.depth() == 1
+
+    def test_sequential_gates_on_shared_qubit(self):
+        c = Circuit(3, [Op.cphase(0, 1), Op.cphase(1, 2)])
+        assert c.depth() == 2
+
+    def test_fig2_style_permutation_depth(self):
+        # Two stacked chains: serialised order needs 4 cycles, parallel 2.
+        serial = Circuit(5, [Op.cphase(0, 1), Op.cphase(1, 2),
+                             Op.cphase(2, 3), Op.cphase(3, 4)])
+        assert serial.depth() == 4
+        permuted = Circuit(5, [Op.cphase(0, 1), Op.cphase(2, 3),
+                               Op.cphase(1, 2), Op.cphase(3, 4)])
+        assert permuted.depth() == 2
+
+    def test_two_qubit_only_depth_ignores_1q(self):
+        c = Circuit(2, [Op.h(0), Op.h(0), Op.h(0), Op.cphase(0, 1)])
+        assert c.depth() == 4
+        assert c.depth(two_qubit_only=True) == 1
+
+    def test_layers_partition_all_ops(self):
+        c = Circuit(4, [Op.cphase(0, 1), Op.cphase(2, 3),
+                        Op.swap(1, 2), Op.h(0)])
+        layers = c.layers()
+        assert sum(len(layer) for layer in layers) == 4
+        assert len(layers) == c.depth()
+
+    def test_layers_have_no_qubit_conflicts(self):
+        ops = [Op.cphase(0, 1), Op.swap(1, 2), Op.cphase(0, 3),
+               Op.swap(2, 3), Op.h(1)]
+        c = Circuit(4, ops)
+        for layer in c.layers():
+            used = [q for op in layer for q in op.qubits]
+            assert len(used) == len(set(used))
+
+
+class TestCounts:
+    def test_kind_counters(self):
+        c = Circuit(4, [Op.cphase(0, 1), Op.swap(2, 3), Op.swap(0, 1)])
+        assert c.cphase_count == 1
+        assert c.swap_count == 2
+
+    def test_two_qubit_ops_iterator(self):
+        c = Circuit(2, [Op.h(0), Op.cphase(0, 1), Op.rz(1, 0.2)])
+        assert sum(1 for _ in c.two_qubit_ops()) == 1
+
+
+class TestCircuitFromLayers:
+    def test_valid_layers(self):
+        c = circuit_from_layers(4, [[Op.cphase(0, 1), Op.cphase(2, 3)],
+                                    [Op.swap(1, 2)]])
+        assert c.depth() == 2
+
+    def test_conflicting_layer_rejected(self):
+        with pytest.raises(ValueError):
+            circuit_from_layers(3, [[Op.cphase(0, 1), Op.cphase(1, 2)]])
+
+
+@settings(max_examples=50)
+@given(st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)).filter(lambda t: t[0] != t[1]),
+    max_size=30))
+def test_depth_never_exceeds_op_count_property(pairs):
+    c = Circuit(6, [Op.cphase(u, v) for u, v in pairs])
+    assert c.depth() <= len(pairs)
+    # Depth is at least the load of the busiest qubit.
+    if pairs:
+        busiest = max(
+            sum(1 for p in pairs if q in p) for q in range(6))
+        assert c.depth() >= busiest

@@ -1,0 +1,115 @@
+"""Decomposition tests: exact unitaries and fusion-aware CX counting."""
+
+import numpy as np
+import pytest
+
+from repro.ir.circuit import Circuit
+from repro.ir.decompose import count_cx, decompose_to_cx
+from repro.ir.gates import CX, Op
+
+from tests.helpers import assert_unitary_equal, circuit_unitary, op_unitary
+
+
+GAMMA = 0.731
+
+
+class TestUnitaryExactness:
+    def test_lone_cphase_decomposition_is_exact(self):
+        abstract = Circuit(2, [Op.cphase(0, 1, GAMMA)])
+        decomposed = decompose_to_cx(abstract)
+        assert_unitary_equal(circuit_unitary(abstract),
+                             circuit_unitary(decomposed))
+
+    def test_lone_swap_decomposition_is_exact(self):
+        abstract = Circuit(2, [Op.swap(0, 1)])
+        decomposed = decompose_to_cx(abstract)
+        assert_unitary_equal(circuit_unitary(abstract),
+                             circuit_unitary(decomposed))
+
+    def test_fused_cphase_swap_is_exact(self):
+        abstract = Circuit(2, [Op.cphase(0, 1, GAMMA), Op.swap(0, 1)])
+        decomposed = decompose_to_cx(abstract)
+        assert decomposed.count_kind(CX) == 3
+        assert_unitary_equal(circuit_unitary(abstract),
+                             circuit_unitary(decomposed))
+
+    def test_fused_swap_then_cphase_is_exact(self):
+        abstract = Circuit(2, [Op.swap(0, 1), Op.cphase(0, 1, GAMMA)])
+        decomposed = decompose_to_cx(abstract)
+        assert decomposed.count_kind(CX) == 3
+        assert_unitary_equal(circuit_unitary(abstract),
+                             circuit_unitary(decomposed))
+
+    def test_fusion_across_reversed_qubit_order(self):
+        abstract = Circuit(2, [Op.cphase(1, 0, GAMMA), Op.swap(0, 1)])
+        decomposed = decompose_to_cx(abstract)
+        assert decomposed.count_kind(CX) == 3
+        assert_unitary_equal(circuit_unitary(abstract),
+                             circuit_unitary(decomposed))
+
+    def test_three_qubit_pattern_slice_is_exact(self):
+        abstract = Circuit(3, [
+            Op.cphase(0, 1, GAMMA), Op.swap(0, 1),
+            Op.cphase(1, 2, 0.3), Op.swap(1, 2),
+            Op.cphase(0, 1, 0.9),
+        ])
+        decomposed = decompose_to_cx(abstract)
+        assert_unitary_equal(circuit_unitary(abstract),
+                             circuit_unitary(decomposed))
+
+    def test_unify_false_uses_five_cx(self):
+        abstract = Circuit(2, [Op.cphase(0, 1, GAMMA), Op.swap(0, 1)])
+        decomposed = decompose_to_cx(abstract, unify=False)
+        assert decomposed.count_kind(CX) == 5
+        assert_unitary_equal(circuit_unitary(abstract),
+                             circuit_unitary(decomposed))
+
+
+class TestFusionRules:
+    def test_intervening_gate_blocks_fusion(self):
+        c = Circuit(2, [Op.cphase(0, 1, GAMMA), Op.h(0), Op.swap(0, 1)])
+        assert count_cx(c) == 2 + 3
+
+    def test_intervening_gate_on_other_qubit_blocks_fusion(self):
+        c = Circuit(3, [Op.cphase(0, 1, GAMMA), Op.cphase(1, 2, 0.1),
+                        Op.swap(0, 1)])
+        # cphase(0,1) is interrupted by cphase(1,2) touching qubit 1.
+        assert count_cx(c) == 2 + 2 + 3
+
+    def test_unrelated_gate_does_not_block_fusion(self):
+        c = Circuit(3, [Op.cphase(0, 1, GAMMA), Op.h(2), Op.swap(0, 1)])
+        assert count_cx(c) == 3
+
+    def test_same_kind_repeat_does_not_fuse(self):
+        c = Circuit(2, [Op.swap(0, 1), Op.swap(0, 1)])
+        assert count_cx(c) == 6
+
+    def test_counts_match_materialised_decomposition(self):
+        ops = [Op.cphase(0, 1, 0.2), Op.swap(0, 1), Op.swap(1, 2),
+               Op.cphase(1, 2, 0.4), Op.h(0), Op.cphase(0, 2, 0.5)]
+        c = Circuit(3, ops)
+        for unify in (True, False):
+            assert (count_cx(c, unify=unify)
+                    == decompose_to_cx(c, unify=unify).count_kind(CX))
+
+    def test_raw_cx_passes_through(self):
+        c = Circuit(2, [Op.cx(0, 1)])
+        assert count_cx(c) == 1
+        assert decompose_to_cx(c).count_kind(CX) == 1
+
+
+class TestHelperSanity:
+    """Trust-but-verify the test helper itself on textbook identities."""
+
+    def test_cx_squared_is_identity(self):
+        u = op_unitary(Op.cx(0, 1), 2)
+        np.testing.assert_allclose(u @ u, np.eye(4), atol=1e-12)
+
+    def test_swap_via_three_cx(self):
+        c = Circuit(2, [Op.cx(0, 1), Op.cx(1, 0), Op.cx(0, 1)])
+        assert_unitary_equal(op_unitary(Op.swap(0, 1), 2), circuit_unitary(c))
+
+    @pytest.mark.parametrize("gamma", [0.0, 0.5, np.pi, -1.2])
+    def test_cphase_is_diagonal(self, gamma):
+        u = op_unitary(Op.cphase(0, 1, gamma), 2)
+        np.testing.assert_allclose(u, np.diag(np.diag(u)), atol=1e-12)

@@ -1,0 +1,61 @@
+"""Property-based decomposition tests: unitary exactness on random circuits."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.circuit import Circuit
+from repro.ir.decompose import count_cx, decompose_to_cx
+from repro.ir.gates import CX, Op
+
+from tests.helpers import assert_unitary_equal, circuit_unitary
+
+N_QUBITS = 3
+
+
+def op_strategy():
+    qubit = st.integers(0, N_QUBITS - 1)
+    pair = st.tuples(qubit, qubit).filter(lambda t: t[0] != t[1])
+    angle = st.floats(-3.0, 3.0, allow_nan=False)
+    return st.one_of(
+        st.builds(lambda q: Op.h(q), qubit),
+        st.builds(lambda q, a: Op.rx(q, a), qubit, angle),
+        st.builds(lambda q, a: Op.rz(q, a), qubit, angle),
+        st.builds(lambda p, a: Op.cphase(p[0], p[1], a), pair, angle),
+        st.builds(lambda p: Op.swap(p[0], p[1]), pair),
+        st.builds(lambda p: Op.cx(p[0], p[1]), pair),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(op_strategy(), max_size=10))
+def test_decomposition_is_unitary_exact(ops):
+    circuit = Circuit(N_QUBITS, ops)
+    decomposed = decompose_to_cx(circuit)
+    assert_unitary_equal(circuit_unitary(circuit),
+                         circuit_unitary(decomposed))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(op_strategy(), max_size=12))
+def test_count_matches_materialisation(ops):
+    circuit = Circuit(N_QUBITS, ops)
+    for unify in (True, False):
+        assert (count_cx(circuit, unify=unify)
+                == decompose_to_cx(circuit, unify=unify).count_kind(CX))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(op_strategy(), max_size=12))
+def test_unified_never_more_cx(ops):
+    circuit = Circuit(N_QUBITS, ops)
+    assert count_cx(circuit, unify=True) <= count_cx(circuit, unify=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(op_strategy(), max_size=10))
+def test_unify_false_is_unitary_exact_too(ops):
+    circuit = Circuit(N_QUBITS, ops)
+    decomposed = decompose_to_cx(circuit, unify=False)
+    assert_unitary_equal(circuit_unitary(circuit),
+                         circuit_unitary(decomposed))

@@ -1,0 +1,62 @@
+"""Unit tests for the Op value object and edge canonicalisation."""
+
+import pytest
+
+from repro.ir.gates import (CPHASE, SWAP, Op, canonical_edge, canonical_edges)
+
+
+class TestOpConstruction:
+    def test_cphase_holds_angle_and_tag(self):
+        op = Op.cphase(3, 5, 0.7, tag=(1, 2))
+        assert op.kind == CPHASE
+        assert op.qubits == (3, 5)
+        assert op.param == 0.7
+        assert op.tag == (1, 2)
+
+    def test_swap_has_no_param(self):
+        op = Op.swap(0, 1)
+        assert op.kind == SWAP
+        assert op.param is None
+
+    def test_single_qubit_constructors(self):
+        assert Op.h(2).qubits == (2,)
+        assert Op.rx(1, 0.5).param == 0.5
+        assert Op.rz(1, -0.5).param == -0.5
+        assert Op.phase(0, 1.0).param == 1.0
+
+    def test_is_two_qubit(self):
+        assert Op.cphase(0, 1).is_two_qubit
+        assert Op.swap(0, 1).is_two_qubit
+        assert Op.cx(0, 1).is_two_qubit
+        assert not Op.h(0).is_two_qubit
+
+
+class TestOpEquality:
+    def test_symmetric_gates_ignore_qubit_order(self):
+        assert Op.cphase(1, 2, 0.3) == Op.cphase(2, 1, 0.3)
+        assert Op.swap(4, 0) == Op.swap(0, 4)
+        assert hash(Op.swap(4, 0)) == hash(Op.swap(0, 4))
+
+    def test_cx_is_directional(self):
+        assert Op.cx(0, 1) != Op.cx(1, 0)
+
+    def test_param_distinguishes(self):
+        assert Op.cphase(0, 1, 0.1) != Op.cphase(0, 1, 0.2)
+
+    def test_repr_mentions_kind(self):
+        assert "cphase" in repr(Op.cphase(0, 1, 0.25))
+
+
+class TestCanonicalEdges:
+    def test_canonical_edge_sorts(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_canonical_edges_dedups(self):
+        edges = canonical_edges([(1, 0), (0, 1), (2, 3)])
+        assert edges == frozenset({(0, 1), (2, 3)})
+
+    @pytest.mark.parametrize("u,v", [(0, 0), (7, 7)])
+    def test_self_edge_is_representable_but_unusual(self, u, v):
+        # canonical_edge does not reject self loops; circuits do.
+        assert canonical_edge(u, v) == (u, v)

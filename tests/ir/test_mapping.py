@@ -1,0 +1,77 @@
+"""Tests for the logical<->physical Mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.mapping import Mapping
+
+
+class TestConstruction:
+    def test_trivial(self):
+        m = Mapping.trivial(3)
+        assert m.log_to_phys == [0, 1, 2]
+        assert m.phys_to_log == [0, 1, 2]
+
+    def test_trivial_with_spares(self):
+        m = Mapping.trivial(2, 4)
+        assert m.phys_to_log == [0, 1, None, None]
+
+    def test_rejects_non_injective(self):
+        with pytest.raises(ValueError):
+            Mapping([0, 0], 2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Mapping([0, 5], 2)
+
+    def test_rejects_too_few_physical(self):
+        with pytest.raises(ValueError):
+            Mapping.trivial(4, 2)
+
+
+class TestSwaps:
+    def test_swap_updates_both_directions(self):
+        m = Mapping.trivial(3)
+        m.swap_physical(0, 2)
+        assert m.physical(0) == 2
+        assert m.physical(2) == 0
+        assert m.logical(0) == 2
+        assert m.logical(2) == 0
+
+    def test_swap_with_spare_qubit(self):
+        m = Mapping.trivial(1, 2)
+        m.swap_physical(0, 1)
+        assert m.physical(0) == 1
+        assert m.logical(0) is None
+        assert m.logical(1) == 0
+
+    def test_double_swap_is_identity(self):
+        m = Mapping.trivial(4)
+        m.swap_physical(1, 3)
+        m.swap_physical(1, 3)
+        assert m == Mapping.trivial(4)
+
+    def test_copy_is_independent(self):
+        m = Mapping.trivial(2)
+        c = m.copy()
+        c.swap_physical(0, 1)
+        assert m.physical(0) == 0
+        assert c.physical(0) == 1
+
+    def test_as_tuple_snapshot(self):
+        m = Mapping.trivial(2, 3)
+        assert m.as_tuple() == (0, 1, None)
+
+
+@given(st.permutations(list(range(6))),
+       st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5))
+                .filter(lambda t: t[0] != t[1]), max_size=20))
+def test_mapping_stays_bijective_under_swaps(perm, swaps):
+    m = Mapping(perm, 6)
+    for u, v in swaps:
+        m.swap_physical(u, v)
+    # phys_to_log is a permutation and consistent with log_to_phys.
+    assert sorted(p for p in m.phys_to_log if p is not None) == list(range(6))
+    for logical, physical in enumerate(m.log_to_phys):
+        assert m.phys_to_log[physical] == logical

@@ -1,0 +1,87 @@
+"""QASM export / round-trip tests."""
+
+import pytest
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Op
+from repro.ir.qasm import from_qasm, to_qasm
+
+
+@pytest.fixture
+def sample():
+    return Circuit(3, [
+        Op.h(0), Op.cphase(0, 1, 0.75), Op.swap(1, 2),
+        Op.cx(0, 2), Op.rx(1, 0.5), Op.rz(2, -0.25), Op.phase(0, 1.5),
+    ])
+
+
+class TestExport:
+    def test_header(self, sample):
+        text = to_qasm(sample)
+        assert text.startswith("OPENQASM 2.0;")
+        assert 'include "qelib1.inc";' in text
+        assert "qreg q[3];" in text
+
+    def test_gate_lines(self, sample):
+        text = to_qasm(sample)
+        assert "cu1(0.75) q[0],q[1];" in text
+        assert "swap q[1],q[2];" in text
+        assert "cx q[0],q[2];" in text
+        assert "rx(0.5) q[1];" in text
+
+    def test_measurement_block(self, sample):
+        text = to_qasm(sample, measure=True)
+        assert "creg c[3];" in text
+        assert "measure q -> c;" in text
+
+    def test_comment_header(self, sample):
+        text = to_qasm(sample, comment="hello\nworld")
+        assert text.splitlines()[0] == "// hello"
+        assert text.splitlines()[1] == "// world"
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_ops(self, sample):
+        parsed = from_qasm(to_qasm(sample))
+        assert parsed.n_qubits == sample.n_qubits
+        assert len(parsed) == len(sample)
+        for a, b in zip(parsed, sample):
+            assert a.kind == b.kind
+            assert a.qubits == b.qubits
+            if b.param is not None:
+                assert a.param == pytest.approx(b.param)
+
+    def test_roundtrip_compiled_circuit(self):
+        from repro.arch import line
+        from repro.compiler import compile_qaoa
+        from repro.problems import clique
+
+        result = compile_qaoa(line(5), clique(5), gamma=0.4)
+        parsed = from_qasm(to_qasm(result.circuit))
+        assert parsed.depth() == result.circuit.depth()
+        assert parsed.swap_count == result.circuit.swap_count
+
+    def test_reject_garbage(self):
+        with pytest.raises(ValueError):
+            from_qasm("OPENQASM 2.0;\nqreg q[2];\nfoo q[0];")
+
+    def test_reject_missing_qreg(self):
+        with pytest.raises(ValueError):
+            from_qasm("OPENQASM 2.0;\nh q[0];")
+
+
+class TestDraw:
+    def test_draw_contains_symbols(self):
+        from repro.ir.draw import draw
+        c = Circuit(3, [Op.cphase(0, 1), Op.swap(1, 2), Op.h(0)])
+        art = draw(c)
+        assert "●" in art
+        assert "x" in art
+        assert "H" in art
+        assert art.count("\n") == 2
+
+    def test_draw_truncates(self):
+        from repro.ir.draw import draw
+        c = Circuit(2, [Op.h(0)] * 100)
+        art = draw(c, max_cycles=10)
+        assert "…" in art

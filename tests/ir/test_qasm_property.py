@@ -1,0 +1,40 @@
+"""Property-based QASM round-trip tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Op
+from repro.ir.qasm import from_qasm, to_qasm
+
+N_QUBITS = 4
+
+
+def op_strategy():
+    qubit = st.integers(0, N_QUBITS - 1)
+    pair = st.tuples(qubit, qubit).filter(lambda t: t[0] != t[1])
+    angle = st.floats(-3.0, 3.0, allow_nan=False).map(lambda a: round(a, 9))
+    return st.one_of(
+        st.builds(lambda q: Op.h(q), qubit),
+        st.builds(lambda q, a: Op.rx(q, a), qubit, angle),
+        st.builds(lambda q, a: Op.rz(q, a), qubit, angle),
+        st.builds(lambda q, a: Op.phase(q, a), qubit, angle),
+        st.builds(lambda p, a: Op.cphase(p[0], p[1], a), pair, angle),
+        st.builds(lambda p: Op.swap(p[0], p[1]), pair),
+        st.builds(lambda p: Op.cx(p[0], p[1]), pair),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(op_strategy(), max_size=20))
+def test_qasm_round_trip(ops):
+    circuit = Circuit(N_QUBITS, ops)
+    back = from_qasm(to_qasm(circuit))
+    assert back.n_qubits == circuit.n_qubits
+    assert len(back) == len(circuit)
+    for a, b in zip(back, circuit):
+        assert a.kind == b.kind
+        assert a.qubits == b.qubits
+        if b.param is not None:
+            assert a.param == pytest.approx(b.param, abs=1e-9)

@@ -1,0 +1,86 @@
+"""Round-trip tests for JSON serialisation."""
+
+import pytest
+
+from repro.arch import line
+from repro.compiler import compile_qaoa
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Op
+from repro.ir.mapping import Mapping
+from repro.ir.serialize import (circuit_from_dict, circuit_to_dict,
+                                compiled_result_from_dict,
+                                compiled_result_to_dict, load_result,
+                                mapping_from_dict, mapping_to_dict,
+                                problem_from_dict, problem_to_dict,
+                                save_result)
+from repro.problems import random_problem_graph
+
+
+class TestCircuitRoundTrip:
+    def test_ops_preserved(self):
+        c = Circuit(3, [Op.h(0), Op.cphase(0, 1, 0.4, tag=(0, 1)),
+                        Op.swap(1, 2), Op.cx(0, 2)])
+        back = circuit_from_dict(circuit_to_dict(c))
+        assert back.n_qubits == 3
+        assert len(back) == len(c)
+        for a, b in zip(back, c):
+            assert a.kind == b.kind
+            assert a.qubits == b.qubits
+            assert a.param == b.param
+            assert a.tag == b.tag
+
+    def test_version_check(self):
+        data = circuit_to_dict(Circuit(2))
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            circuit_from_dict(data)
+
+    def test_unknown_kind_rejected(self):
+        data = circuit_to_dict(Circuit(2))
+        data["ops"] = [{"kind": "warp", "qubits": [0]}]
+        with pytest.raises(ValueError):
+            circuit_from_dict(data)
+
+
+class TestMappingRoundTrip:
+    def test_round_trip(self):
+        m = Mapping([2, 0, 1], 4)
+        back = mapping_from_dict(mapping_to_dict(m))
+        assert back == m
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            mapping_from_dict({"version": 0})
+
+
+class TestResultRoundTrip:
+    def test_full_round_trip(self, tmp_path):
+        coupling = line(5)
+        problem = random_problem_graph(5, 0.6, seed=1)
+        result = compile_qaoa(coupling, problem, method="hybrid")
+        path = str(tmp_path / "result.json")
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.method == result.method
+        assert loaded.depth() == result.depth()
+        assert loaded.gate_count == result.gate_count
+        loaded.validate(coupling, problem)
+
+    def test_extra_filtered_to_scalars(self):
+        coupling = line(4)
+        problem = random_problem_graph(4, 0.5, seed=0)
+        result = compile_qaoa(coupling, problem, method="hybrid")
+        data = compiled_result_to_dict(result)
+        assert all(isinstance(v, (str, int, float, bool))
+                   for v in data["extra"].values())
+        back = compiled_result_from_dict(data)
+        assert back.method == "hybrid"
+
+
+class TestProblemRoundTrip:
+    def test_round_trip(self):
+        problem = random_problem_graph(8, 0.4, seed=2)
+        back = problem_from_dict(problem_to_dict(problem))
+        assert back.n_vertices == problem.n_vertices
+        assert back.edges == problem.edges
+        assert back.name == problem.name

@@ -1,0 +1,100 @@
+"""Tests for the compiled-circuit validator (the package's ground truth)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Op
+from repro.ir.mapping import Mapping
+from repro.ir.validate import validate_compiled
+
+LINE3 = [(0, 1), (1, 2)]
+
+
+def test_trivially_valid_circuit():
+    c = Circuit(3, [Op.cphase(0, 1), Op.cphase(1, 2)])
+    report = validate_compiled(c, LINE3, Mapping.trivial(3),
+                               [(0, 1), (1, 2)])
+    assert report.n_cphase == 2
+    assert report.n_swap == 0
+    assert report.executed_edges == {(0, 1), (1, 2)}
+
+
+def test_swap_retargets_logical_pair():
+    # Problem edge (0, 2) on a 3-line: swap 2 next to 0 first.
+    c = Circuit(3, [Op.swap(1, 2), Op.cphase(0, 1)])
+    report = validate_compiled(c, LINE3, Mapping.trivial(3), [(0, 2)])
+    assert report.executed_edges == {(0, 2)}
+    assert report.n_swap == 1
+    assert report.final_mapping.physical(2) == 1
+
+
+def test_uncoupled_gate_rejected():
+    c = Circuit(3, [Op.cphase(0, 2)])
+    with pytest.raises(ValidationError, match="uncoupled"):
+        validate_compiled(c, LINE3, Mapping.trivial(3), [(0, 2)])
+
+
+def test_gate_on_non_problem_edge_rejected():
+    c = Circuit(3, [Op.cphase(0, 1)])
+    with pytest.raises(ValidationError, match="not a problem edge"):
+        validate_compiled(c, LINE3, Mapping.trivial(3), [(1, 2)])
+
+
+def test_missing_edges_rejected():
+    c = Circuit(3, [Op.cphase(0, 1)])
+    with pytest.raises(ValidationError, match="never executed"):
+        validate_compiled(c, LINE3, Mapping.trivial(3), [(0, 1), (1, 2)])
+
+
+def test_missing_edges_allowed_when_not_required():
+    c = Circuit(3, [Op.cphase(0, 1)])
+    report = validate_compiled(c, LINE3, Mapping.trivial(3),
+                               [(0, 1), (1, 2)], require_all_edges=False)
+    assert report.n_edges == 1
+
+
+def test_repeat_edge_rejected_by_default():
+    c = Circuit(3, [Op.cphase(0, 1), Op.cphase(0, 1)])
+    with pytest.raises(ValidationError, match="repeats"):
+        validate_compiled(c, LINE3, Mapping.trivial(3), [(0, 1)])
+
+
+def test_repeat_edge_allowed_when_requested():
+    c = Circuit(3, [Op.cphase(0, 1), Op.cphase(0, 1)])
+    report = validate_compiled(c, LINE3, Mapping.trivial(3), [(0, 1)],
+                               allow_repeats=True)
+    assert report.n_cphase == 2
+
+
+def test_gate_on_spare_qubit_rejected():
+    c = Circuit(3, [Op.cphase(1, 2)])
+    with pytest.raises(ValidationError, match="spare"):
+        validate_compiled(c, LINE3, Mapping.trivial(2, 3), [(0, 1)])
+
+
+def test_tag_mismatch_rejected():
+    c = Circuit(3, [Op.cphase(0, 1, tag=(1, 2))])
+    with pytest.raises(ValidationError, match="tag"):
+        validate_compiled(c, LINE3, Mapping.trivial(3), [(0, 1)])
+
+
+def test_tag_match_accepted():
+    c = Circuit(3, [Op.cphase(0, 1, tag=(1, 0))])
+    validate_compiled(c, LINE3, Mapping.trivial(3), [(0, 1)])
+
+
+def test_nontrivial_initial_mapping():
+    # Logical 0 starts on physical 2, logical 1 on physical 0.
+    mapping = Mapping([2, 0], 3)
+    # CPHASE on physical (0, 1) would implement logical pair... nothing on 1.
+    c = Circuit(3, [Op.swap(1, 2), Op.cphase(0, 1)])
+    report = validate_compiled(c, LINE3, mapping, [(0, 1)])
+    assert report.executed_edges == {(0, 1)}
+
+
+def test_swap_on_uncoupled_pair_rejected():
+    c = Circuit(3, [Op.swap(0, 2)])
+    with pytest.raises(ValidationError, match="uncoupled"):
+        validate_compiled(c, LINE3, Mapping.trivial(3), [],
+                          require_all_edges=False)

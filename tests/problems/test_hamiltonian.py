@@ -1,0 +1,62 @@
+"""Tests for the NNN Hamiltonian interaction graphs (Table 3 inputs)."""
+
+from repro.problems import (hamiltonian_benchmarks, nnn_heisenberg_3d,
+                            nnn_ising_1d, nnn_xy_2d)
+
+
+class TestIsing1D:
+    def test_size_and_edges(self):
+        g = nnn_ising_1d(64)
+        assert g.n_vertices == 64
+        assert g.n_edges == 63 + 62
+
+    def test_small_instance_edges(self):
+        g = nnn_ising_1d(4)
+        assert g.edges == frozenset({(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)})
+
+    def test_max_degree_four(self):
+        g = nnn_ising_1d(10)
+        assert max(g.degrees().values()) == 4
+
+
+class TestXY2D:
+    def test_size(self):
+        g = nnn_xy_2d(8)
+        assert g.n_vertices == 64
+
+    def test_edge_count(self):
+        side = 8
+        nearest = 2 * side * (side - 1)
+        diagonal = 2 * (side - 1) * (side - 1)
+        assert nnn_xy_2d(side).n_edges == nearest + diagonal
+
+    def test_interior_degree_eight(self):
+        g = nnn_xy_2d(4)
+        # node (1,1) = 5 has 4 nearest + 4 diagonal neighbours.
+        assert g.degrees()[5] == 8
+
+
+class TestHeisenberg3D:
+    def test_size(self):
+        g = nnn_heisenberg_3d(4)
+        assert g.n_vertices == 64
+
+    def test_edge_count(self):
+        side = 4
+        axes = 3 * side * side * (side - 1)
+        diagonals = 6 * side * (side - 1) * (side - 1)
+        assert nnn_heisenberg_3d(side).n_edges == axes + diagonals
+
+    def test_corner_degree(self):
+        g = nnn_heisenberg_3d(3)
+        # corner (0,0,0): 3 axis + 3 face-diagonal neighbours.
+        assert g.degrees()[0] == 6
+
+
+def test_benchmark_suite_sizes():
+    suite = hamiltonian_benchmarks()
+    assert [g.n_vertices for g in suite] == [64, 64, 64]
+    names = [g.name for g in suite]
+    assert any("ising" in n for n in names)
+    assert any("xy" in n for n in names)
+    assert any("heisenberg" in n for n in names)

@@ -1,0 +1,71 @@
+"""Tests for the QAOA problem object and cost functions."""
+
+import numpy as np
+import pytest
+
+from repro.ir.gates import CPHASE, H, RX
+from repro.problems import ProblemGraph, QaoaProblem
+
+
+@pytest.fixture
+def triangle():
+    return QaoaProblem(ProblemGraph(3, [(0, 1), (1, 2), (0, 2)]))
+
+
+class TestLogicalCircuit:
+    def test_single_layer_structure(self, triangle):
+        c = triangle.logical_circuit([0.5], [0.3])
+        kinds = [op.kind for op in c]
+        assert kinds.count(H) == 3
+        assert kinds.count(CPHASE) == 3
+        assert kinds.count(RX) == 3
+
+    def test_two_layers_double_gates(self, triangle):
+        c = triangle.logical_circuit([0.5, 0.1], [0.3, 0.2])
+        assert sum(1 for op in c if op.kind == CPHASE) == 6
+
+    def test_angle_propagation(self, triangle):
+        c = triangle.logical_circuit([0.5], [0.3])
+        cphases = [op for op in c if op.kind == CPHASE]
+        assert all(op.param == 0.5 for op in cphases)
+        rxs = [op for op in c if op.kind == RX]
+        assert all(op.param == pytest.approx(0.6) for op in rxs)
+
+    def test_mismatched_params_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.logical_circuit([0.5], [0.3, 0.1])
+
+
+class TestCutValues:
+    def test_cut_value_of_assignment(self, triangle):
+        assert triangle.cut_value([0, 1, 0]) == 2
+        assert triangle.cut_value([0, 0, 0]) == 0
+
+    def test_triangle_max_cut_is_two(self, triangle):
+        assert triangle.max_cut_brute_force() == 2
+
+    def test_cut_values_all_agrees_with_cut_value(self, triangle):
+        values = triangle.cut_values_all()
+        for index in range(8):
+            bits = [(index >> (2 - q)) & 1 for q in range(3)]
+            assert values[index] == triangle.cut_value(bits)
+
+    def test_expected_cut_uniform(self, triangle):
+        probs = np.full(8, 1 / 8)
+        # Each edge is cut with probability 1/2 under uniform bits.
+        assert triangle.expected_cut(probs) == pytest.approx(1.5)
+
+    def test_expected_cut_point_mass(self, triangle):
+        probs = np.zeros(8)
+        probs[0b010] = 1.0  # bits 0,1,0
+        assert triangle.expected_cut(probs) == pytest.approx(2.0)
+
+    def test_brute_force_guard(self):
+        big = QaoaProblem(ProblemGraph(25, [(0, 1)]))
+        with pytest.raises(ValueError):
+            big.max_cut_brute_force()
+
+
+def test_path_graph_maxcut():
+    p = QaoaProblem(ProblemGraph(4, [(0, 1), (1, 2), (2, 3)]))
+    assert p.max_cut_brute_force() == 3

@@ -1,0 +1,89 @@
+"""Tests for p > 1 QAOA support."""
+
+import numpy as np
+import pytest
+
+from repro.arch import NoiseModel, line
+from repro.compiler import compile_qaoa
+from repro.problems import QaoaProblem, random_problem_graph
+from repro.sim import QaoaRunner, qaoa_multilayer_circuit
+
+
+@pytest.fixture(scope="module")
+def setup():
+    problem = QaoaProblem(random_problem_graph(6, 0.5, seed=1))
+    coupling = line(6)
+    noise = NoiseModel(coupling, seed=4)
+    compiled = compile_qaoa(coupling, problem.graph, method="hybrid",
+                            noise=noise)
+    return problem, noise, compiled
+
+
+class TestMultilayerCircuit:
+    def test_layer_count(self, setup):
+        problem, _, compiled = setup
+        from repro.sim import logical_equivalent
+        block = logical_equivalent(compiled.circuit,
+                                   compiled.initial_mapping,
+                                   problem.n_qubits)
+        c1 = qaoa_multilayer_circuit(problem, block, [0.3], [0.2])
+        c2 = qaoa_multilayer_circuit(problem, block, [0.3, 0.5], [0.2, 0.1])
+        n_gates = problem.graph.n_edges
+        from repro.ir.gates import CPHASE
+        assert sum(1 for op in c2 if op.kind == CPHASE) == 2 * n_gates
+        assert len(c2) > len(c1)
+
+    def test_angle_length_mismatch(self, setup):
+        problem, _, compiled = setup
+        from repro.sim import logical_equivalent
+        block = logical_equivalent(compiled.circuit,
+                                   compiled.initial_mapping,
+                                   problem.n_qubits)
+        with pytest.raises(ValueError):
+            qaoa_multilayer_circuit(problem, block, [0.3], [0.2, 0.1])
+
+
+class TestP2Runner:
+    def test_p_validation(self, setup):
+        problem, noise, compiled = setup
+        with pytest.raises(ValueError):
+            QaoaRunner(problem, compiled, p=0)
+
+    def test_esp_compounds_with_depth(self, setup):
+        problem, noise, compiled = setup
+        r1 = QaoaRunner(problem, compiled, noise=noise, p=1)
+        r2 = QaoaRunner(problem, compiled, noise=noise, p=2)
+        assert r2.esp == pytest.approx(r1.esp ** 2)
+
+    def test_p2_ideal_beats_p1_ideal_at_optimum(self, setup):
+        """Deeper noise-free QAOA can only improve the best energy."""
+        problem, _, compiled = setup
+        r1 = QaoaRunner(problem, compiled, shots=40000, seed=1, p=1)
+        r2 = QaoaRunner(problem, compiled, shots=40000, seed=1, p=2)
+        grid = np.linspace(0.1, 1.2, 5)
+        best1 = min(r1.measure_energy(g, b) for g in grid for b in grid)
+        best2 = min(
+            r2.measure_energy([g, g2], [b, b2])
+            for g in grid[::2] for b in grid[::2]
+            for g2 in grid[::2] for b2 in grid[::2])
+        assert best2 <= best1 + 0.1
+
+    def test_p2_optimize_runs(self, setup):
+        problem, noise, compiled = setup
+        runner = QaoaRunner(problem, compiled, noise=noise, shots=2000,
+                            seed=2, p=2)
+        result = runner.optimize(max_rounds=10)
+        assert result.rounds
+        assert len(result.rounds[0].gamma) == 2
+
+    def test_wrong_x0_length(self, setup):
+        problem, _, compiled = setup
+        runner = QaoaRunner(problem, compiled, p=2)
+        with pytest.raises(ValueError):
+            runner.optimize(max_rounds=3, x0=[0.1, 0.2])
+
+    def test_wrong_angle_schedule_length(self, setup):
+        problem, _, compiled = setup
+        runner = QaoaRunner(problem, compiled, p=2)
+        with pytest.raises(ValueError):
+            runner.measure_energy([0.1], [0.2])

@@ -1,0 +1,67 @@
+"""Tests for the depolarizing substitution channel and TVD."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (depolarized_probabilities, empirical_distribution,
+                       sample_counts, tvd)
+
+
+class TestDepolarizedMixture:
+    def test_esp_one_is_identity(self):
+        ideal = np.array([0.5, 0.5, 0, 0])
+        np.testing.assert_allclose(
+            depolarized_probabilities(ideal, 1.0), ideal)
+
+    def test_esp_zero_is_uniform(self):
+        ideal = np.array([1.0, 0, 0, 0])
+        np.testing.assert_allclose(
+            depolarized_probabilities(ideal, 0.0), 0.25)
+
+    def test_mixture_normalised(self):
+        ideal = np.array([0.3, 0.7, 0, 0])
+        mixed = depolarized_probabilities(ideal, 0.6)
+        assert mixed.sum() == pytest.approx(1.0)
+        assert (mixed > 0).all()
+
+    def test_invalid_esp_rejected(self):
+        with pytest.raises(ValueError):
+            depolarized_probabilities(np.array([1.0]), 1.5)
+
+
+class TestSampling:
+    def test_counts_sum_to_shots(self):
+        rng = np.random.default_rng(0)
+        counts = sample_counts(np.array([0.25] * 4), 1000, rng)
+        assert counts.sum() == 1000
+
+    def test_empirical_distribution(self):
+        dist = empirical_distribution(np.array([1, 3]))
+        np.testing.assert_allclose(dist, [0.25, 0.75])
+
+    def test_empirical_distribution_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_distribution(np.array([0, 0]))
+
+    def test_sampling_reproducible(self):
+        a = sample_counts(np.array([0.5, 0.5]), 100,
+                          np.random.default_rng(7))
+        b = sample_counts(np.array([0.5, 0.5]), 100,
+                          np.random.default_rng(7))
+        assert (a == b).all()
+
+
+class TestTvd:
+    def test_identical_distributions(self):
+        p = np.array([0.5, 0.5])
+        assert tvd(p, p) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert tvd(np.array([1.0, 0]), np.array([0, 1.0])) == pytest.approx(1.0)
+
+    def test_monotone_in_noise(self):
+        ideal = np.zeros(16)
+        ideal[3] = 1.0
+        weak = depolarized_probabilities(ideal, 0.9)
+        strong = depolarized_probabilities(ideal, 0.4)
+        assert tvd(weak, ideal) < tvd(strong, ideal)

@@ -1,0 +1,146 @@
+"""End-to-end QAOA pipeline tests (Figs 24/25 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import NoiseModel, line, mumbai
+from repro.compiler import compile_qaoa
+from repro.ir.circuit import Circuit
+from repro.ir.gates import CPHASE, Op
+from repro.ir.mapping import Mapping
+from repro.problems import ProblemGraph, QaoaProblem, random_problem_graph
+from repro.sim import (QaoaRunner, logical_equivalent, probabilities,
+                       qaoa_layer_circuit, run_circuit)
+
+
+@pytest.fixture
+def small_setup():
+    problem = QaoaProblem(random_problem_graph(6, 0.5, seed=1))
+    coupling = line(6)
+    compiled = compile_qaoa(coupling, problem.graph, method="hybrid")
+    compiled.validate(coupling, problem.graph)
+    return problem, coupling, compiled
+
+
+class TestLogicalEquivalent:
+    def test_edge_multiset_matches_problem(self, small_setup):
+        problem, _, compiled = small_setup
+        logical = logical_equivalent(compiled.circuit,
+                                     compiled.initial_mapping,
+                                     problem.n_qubits)
+        pairs = sorted(tuple(sorted(op.qubits)) for op in logical)
+        assert pairs == sorted(problem.graph.edges)
+
+    def test_matches_direct_physical_simulation(self):
+        # Small enough to simulate the physical circuit with its SWAPs and
+        # compare against the reduced logical circuit.
+        problem = QaoaProblem(ProblemGraph(4, [(0, 2), (1, 3), (0, 3)]))
+        coupling = line(4)
+        compiled = compile_qaoa(coupling, problem.graph, method="ata",
+                                gamma=0.8)
+        mapping = compiled.initial_mapping
+
+        # Physical simulation: H on initial homes, block, RX on final homes.
+        final = compiled.validate(coupling, problem.graph).final_mapping
+        physical = Circuit(coupling.n_qubits)
+        for logical_q in range(4):
+            physical.append(Op.h(mapping.physical(logical_q)))
+        physical.extend(compiled.circuit.ops)
+        for logical_q in range(4):
+            physical.append(Op.rx(final.physical(logical_q), 0.6))
+        phys_probs = probabilities(run_circuit(physical))
+
+        # Logical simulation via the runner's reduction.
+        block = logical_equivalent(compiled.circuit, mapping, 4)
+        logical_circuit = qaoa_layer_circuit(problem, block, 0.8, 0.3)
+        log_probs = probabilities(run_circuit(logical_circuit))
+
+        # Marginalise the physical distribution onto logical bit order.
+        n_phys = coupling.n_qubits
+        marginal = np.zeros(2 ** 4)
+        for index, p in enumerate(phys_probs):
+            bits = [(index >> (n_phys - 1 - q)) & 1 for q in range(n_phys)]
+            key = 0
+            for logical_q in range(4):
+                key = (key << 1) | bits[final.physical(logical_q)]
+            marginal[key] += p
+        np.testing.assert_allclose(marginal, log_probs, atol=1e-9)
+
+
+class TestRunnerPhysics:
+    def test_zero_angles_give_uniform(self, small_setup):
+        problem, _, compiled = small_setup
+        runner = QaoaRunner(problem, compiled)
+        probs = runner.ideal_probabilities(0.0, 0.0)
+        np.testing.assert_allclose(probs, 1 / 2 ** problem.n_qubits,
+                                   atol=1e-12)
+
+    def test_expected_cut_bounded_by_maxcut(self, small_setup):
+        problem, _, compiled = small_setup
+        runner = QaoaRunner(problem, compiled)
+        maxcut = problem.max_cut_brute_force()
+        for gamma, beta in [(0.3, 0.2), (0.7, 0.9), (1.2, 0.4)]:
+            energy = runner.measure_energy(gamma, beta)
+            assert -energy <= maxcut + 1e-9
+
+    def test_good_angles_beat_random_guessing(self, small_setup):
+        problem, _, compiled = small_setup
+        runner = QaoaRunner(problem, compiled, shots=20000, seed=3)
+        uniform_cut = problem.graph.n_edges / 2
+        best = min(runner.measure_energy(g, b)
+                   for g in np.linspace(0.2, 1.2, 6)
+                   for b in np.linspace(0.2, 1.2, 6))
+        assert -best > uniform_cut
+
+    def test_esp_one_without_noise_model(self, small_setup):
+        problem, _, compiled = small_setup
+        runner = QaoaRunner(problem, compiled)
+        assert runner.esp == 1.0
+
+
+class TestNoiseOrdering:
+    """Fewer gates -> higher ESP -> lower TVD and better energy: the causal
+    chain behind the paper's real-machine results."""
+
+    def make_runner(self, method, seed=11):
+        problem = QaoaProblem(random_problem_graph(8, 0.3, seed=2))
+        coupling = mumbai()
+        noise = NoiseModel(coupling, seed=seed)
+        compiled = compile_qaoa(coupling, problem.graph, method=method,
+                                noise=noise)
+        compiled.validate(coupling, problem.graph)
+        return QaoaRunner(problem, compiled, noise=noise, seed=5)
+
+    def test_esp_in_unit_interval(self):
+        runner = self.make_runner("hybrid")
+        assert 0.0 < runner.esp < 1.0
+
+    def test_better_circuit_gives_lower_tvd(self):
+        good = self.make_runner("hybrid")
+        bad_problem = QaoaProblem(random_problem_graph(8, 0.3, seed=2))
+        coupling = mumbai()
+        noise = NoiseModel(coupling, seed=11)
+        from repro.baselines import compile_paulihedral
+        bad_compiled = compile_paulihedral(coupling, bad_problem.graph)
+        bad = QaoaRunner(bad_problem, bad_compiled, noise=noise, seed=5)
+        assert good.esp > bad.esp
+        assert (good.tvd_vs_ideal(0.5, 0.4)
+                < bad.tvd_vs_ideal(0.5, 0.4))
+
+
+class TestOptimizationLoop:
+    def test_cobyla_improves_energy(self, small_setup):
+        problem, _, compiled = small_setup
+        runner = QaoaRunner(problem, compiled, shots=4000, seed=9)
+        result = runner.optimize(max_rounds=25)
+        assert len(result.rounds) >= 5
+        trace = result.best_so_far()
+        assert trace[-1] <= trace[0]
+        assert result.best_energy == pytest.approx(min(result.energies))
+
+    def test_best_so_far_monotone(self, small_setup):
+        problem, _, compiled = small_setup
+        runner = QaoaRunner(problem, compiled, shots=2000, seed=4)
+        result = runner.optimize(max_rounds=12)
+        trace = result.best_so_far()
+        assert all(a >= b for a, b in zip(trace, trace[1:]))

@@ -1,0 +1,69 @@
+"""Statevector engine tests, cross-checked against the dense test helper."""
+
+import numpy as np
+import pytest
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Op
+from repro.sim import probabilities, run_circuit, zero_state
+
+from tests.helpers import circuit_unitary
+
+
+class TestBasics:
+    def test_zero_state_normalised(self):
+        state = zero_state(3)
+        assert probabilities(state)[0] == pytest.approx(1.0)
+
+    def test_h_creates_uniform(self):
+        c = Circuit(2, [Op.h(0), Op.h(1)])
+        probs = probabilities(run_circuit(c))
+        np.testing.assert_allclose(probs, 0.25)
+
+    def test_bell_state(self):
+        c = Circuit(2, [Op.h(0), Op.cx(0, 1)])
+        probs = probabilities(run_circuit(c))
+        np.testing.assert_allclose(probs, [0.5, 0, 0, 0.5], atol=1e-12)
+
+    def test_cx_direction_and_bit_order(self):
+        # Flip qubit 0, then CX(0,1): expect |11> = index 3.
+        c = Circuit(2, [Op.rx(0, np.pi), Op.cx(0, 1)])
+        probs = probabilities(run_circuit(c))
+        assert probs[3] == pytest.approx(1.0)
+
+    def test_swap_moves_excitation(self):
+        c = Circuit(3, [Op.rx(0, np.pi), Op.swap(0, 2)])
+        probs = probabilities(run_circuit(c))
+        # Excitation now on qubit 2 -> index 0b001.
+        assert probs[1] == pytest.approx(1.0)
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            run_circuit(Circuit(2), state=zero_state(3))
+
+    def test_unsupported_gate(self):
+        state = zero_state(1)
+        from repro.sim import apply_op
+        with pytest.raises(ValueError):
+            apply_op(state, Op("mystery", (0,)))
+
+
+class TestAgainstDenseHelper:
+    @pytest.mark.parametrize("ops", [
+        [Op.h(0), Op.cphase(0, 1, 0.7), Op.rx(1, 0.3)],
+        [Op.h(0), Op.h(1), Op.h(2), Op.cphase(0, 2, 1.1),
+         Op.swap(1, 2), Op.rz(0, 0.4)],
+        [Op.cx(1, 0), Op.phase(0, 0.9), Op.cx(0, 1)],
+    ])
+    def test_matches_matrix_simulation(self, ops):
+        n = 3
+        c = Circuit(n, ops)
+        state = run_circuit(c).reshape(-1)
+        expected = circuit_unitary(c) @ np.eye(2 ** n)[:, 0]
+        np.testing.assert_allclose(state, expected, atol=1e-10)
+
+    def test_norm_preserved(self):
+        c = Circuit(3, [Op.h(0), Op.cphase(0, 1, 0.5), Op.rx(2, 1.0),
+                        Op.swap(0, 2), Op.cx(1, 2)])
+        state = run_circuit(c)
+        assert np.linalg.norm(state) == pytest.approx(1.0)

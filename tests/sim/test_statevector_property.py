@@ -1,0 +1,56 @@
+"""Property-based statevector tests: unitarity and commutation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Op
+from repro.sim import probabilities, run_circuit
+
+N = 4
+
+
+def op_strategy():
+    qubit = st.integers(0, N - 1)
+    pair = st.tuples(qubit, qubit).filter(lambda t: t[0] != t[1])
+    angle = st.floats(-3.0, 3.0, allow_nan=False)
+    return st.one_of(
+        st.builds(lambda q: Op.h(q), qubit),
+        st.builds(lambda q, a: Op.rx(q, a), qubit, angle),
+        st.builds(lambda q, a: Op.rz(q, a), qubit, angle),
+        st.builds(lambda p, a: Op.cphase(p[0], p[1], a), pair, angle),
+        st.builds(lambda p: Op.swap(p[0], p[1]), pair),
+        st.builds(lambda p: Op.cx(p[0], p[1]), pair),
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(op_strategy(), max_size=15))
+def test_norm_preserved(ops):
+    state = run_circuit(Circuit(N, ops))
+    assert abs(np.linalg.norm(state) - 1.0) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, N - 1), st.integers(0, N - 1),
+                          st.floats(-3, 3, allow_nan=False))
+                .filter(lambda t: t[0] != t[1]), min_size=2, max_size=8),
+       st.randoms())
+def test_cphase_gates_commute(pairs, rng):
+    """The paper's foundational fact: all problem gates commute, so any
+    permutation of the CPHASE block yields the same state."""
+    ops = [Op.cphase(u, v, a) for u, v, a in pairs]
+    prefix = [Op.h(q) for q in range(N)]
+    shuffled = list(ops)
+    rng.shuffle(shuffled)
+    state_a = run_circuit(Circuit(N, prefix + ops))
+    state_b = run_circuit(Circuit(N, prefix + shuffled))
+    np.testing.assert_allclose(state_a, state_b, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(op_strategy(), max_size=10))
+def test_probabilities_sum_to_one(ops):
+    probs = probabilities(run_circuit(Circuit(N, ops)))
+    assert abs(probs.sum() - 1.0) < 1e-9

@@ -1,0 +1,84 @@
+"""Tests for the Pauli-trajectory noise model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import NoiseModel, line, uniform_noise_model
+from repro.compiler import compile_qaoa
+from repro.problems import QaoaProblem, random_problem_graph
+from repro.sim import tvd
+from repro.sim.trajectories import trajectory_probabilities
+
+
+@pytest.fixture(scope="module")
+def setup():
+    problem = QaoaProblem(random_problem_graph(6, 0.4, seed=3))
+    coupling = line(6)
+    noise = NoiseModel(coupling, seed=1)
+    compiled = compile_qaoa(coupling, problem.graph, method="hybrid",
+                            noise=noise)
+    compiled.validate(coupling, problem.graph)
+    return problem, coupling, noise, compiled
+
+
+class TestTrajectorySimulation:
+    def test_distribution_normalised(self, setup):
+        problem, _, noise, compiled = setup
+        probs = trajectory_probabilities(compiled, problem, 0.5, 0.4,
+                                         noise, n_trajectories=20, seed=0)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (probs >= 0).all()
+
+    def test_zero_error_matches_ideal(self, setup):
+        problem, coupling, _, compiled = setup
+        clean = uniform_noise_model(coupling, cx_error=0.0)
+        # cx_error floor is clipped in NoiseModel; build exact zeros here.
+        for edge in clean.cx_error:
+            clean.cx_error[edge] = 0.0
+        probs = trajectory_probabilities(compiled, problem, 0.5, 0.4,
+                                         clean, n_trajectories=3, seed=0)
+        from repro.sim import QaoaRunner
+        runner = QaoaRunner(problem, compiled)
+        ideal = runner.ideal_probabilities(0.5, 0.4)
+        np.testing.assert_allclose(probs, ideal, atol=1e-9)
+
+    def test_noise_pushes_towards_uniform(self, setup):
+        problem, coupling, _, compiled = setup
+        from repro.sim import QaoaRunner
+        ideal = QaoaRunner(problem, compiled).ideal_probabilities(0.5, 0.4)
+        light = uniform_noise_model(coupling, cx_error=0.002)
+        heavy = uniform_noise_model(coupling, cx_error=0.05)
+        p_light = trajectory_probabilities(compiled, problem, 0.5, 0.4,
+                                           light, n_trajectories=120, seed=1)
+        p_heavy = trajectory_probabilities(compiled, problem, 0.5, 0.4,
+                                           heavy, n_trajectories=120, seed=1)
+        assert tvd(p_light, ideal) < tvd(p_heavy, ideal)
+
+    def test_agrees_with_esp_model_on_compiler_ordering(self):
+        """Both noise models must rank compilers the same way."""
+        problem = QaoaProblem(random_problem_graph(8, 0.3, seed=5))
+        from repro.arch import mumbai
+        from repro.baselines import compile_paulihedral
+        from repro.sim import QaoaRunner
+        coupling = mumbai()
+        noise = NoiseModel(coupling, seed=2)
+        good = compile_qaoa(coupling, problem.graph, method="hybrid",
+                            noise=noise)
+        bad = compile_paulihedral(coupling, problem.graph)
+        ideal = QaoaRunner(problem, good).ideal_probabilities(0.5, 0.4)
+
+        traj_good = trajectory_probabilities(good, problem, 0.5, 0.4,
+                                             noise, n_trajectories=150,
+                                             seed=3)
+        traj_bad = trajectory_probabilities(bad, problem, 0.5, 0.4,
+                                            noise, n_trajectories=150,
+                                            seed=3)
+        assert tvd(traj_good, ideal) < tvd(traj_bad, ideal)
+        # ESP ordering agrees.
+        assert noise.esp(good.circuit) > noise.esp(bad.circuit)
+
+    def test_size_guard(self, setup):
+        problem = QaoaProblem(random_problem_graph(15, 0.2, seed=1))
+        _, _, noise, compiled = setup
+        with pytest.raises(ValueError):
+            trajectory_probabilities(compiled, problem, 0.1, 0.1, noise)

@@ -1,0 +1,65 @@
+"""Tests for the lexicographic (depth, swaps) solver extension.
+
+The paper leaves gate-count-aware optimal solving as future work
+(Section 4); this verifies our implementation of it: depth must match the
+depth-only solver exactly, and the SWAP count can only improve.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import grid, line
+from repro.ir.validate import validate_compiled
+from repro.problems import clique, random_problem_graph
+from repro.solver import solve_depth_optimal
+
+
+@pytest.mark.parametrize("edges", [
+    [(0, 2)],
+    [(0, 1), (1, 2), (0, 2)],
+    [(0, 3), (1, 2)],
+])
+def test_depth_unchanged_swaps_not_worse_line4(edges):
+    coupling = line(4)
+    plain = solve_depth_optimal(coupling, edges)
+    lexi = solve_depth_optimal(coupling, edges, minimize_swaps=True)
+    assert lexi.depth == plain.depth
+    assert lexi.circuit.swap_count <= plain.circuit.swap_count
+    validate_compiled(lexi.circuit, coupling.edges, lexi.initial_mapping,
+                      edges)
+
+
+def test_clique4_swap_minimal_schedule():
+    coupling = line(4)
+    edges = sorted(clique(4).edges)
+    lexi = solve_depth_optimal(coupling, edges, minimize_swaps=True)
+    plain = solve_depth_optimal(coupling, edges)
+    assert lexi.depth == plain.depth
+    assert lexi.circuit.swap_count <= plain.circuit.swap_count
+    # Clique-4 on a 4-line needs at least 3 non-adjacent pairs resolved.
+    assert lexi.circuit.swap_count >= 2
+
+
+def test_no_swaps_needed_when_all_adjacent():
+    coupling = line(3)
+    lexi = solve_depth_optimal(coupling, [(0, 1), (1, 2)],
+                               minimize_swaps=True)
+    assert lexi.circuit.swap_count == 0
+    assert lexi.depth == 2
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 1000))
+def test_random_instances_property(seed):
+    coupling = grid(2, 2)
+    problem = random_problem_graph(4, 0.5, seed=seed)
+    if not problem.edges:
+        return
+    edges = sorted(problem.edges)
+    plain = solve_depth_optimal(coupling, edges)
+    lexi = solve_depth_optimal(coupling, edges, minimize_swaps=True)
+    assert lexi.depth == plain.depth
+    assert lexi.circuit.swap_count <= plain.circuit.swap_count
+    validate_compiled(lexi.circuit, coupling.edges, lexi.initial_mapping,
+                      edges)

@@ -1,0 +1,49 @@
+"""Cross-check A* depths against uniform-cost search (h = 0).
+
+Uniform-cost search over the same transition system is trivially optimal;
+if A* with the Definition 3 heuristic ever returned a deeper schedule the
+heuristic would be inadmissible.  Property-tested on random tiny
+instances.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import grid, line
+from repro.problems import clique
+from repro.solver import solve_depth_optimal
+
+
+def edges_for(n, indices):
+    all_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return [all_pairs[k % len(all_pairs)] for k in indices]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=4, unique=True))
+def test_astar_matches_uniform_cost_on_line4(indices):
+    coupling = line(4)
+    edges = sorted(set(edges_for(4, indices)))
+    fast = solve_depth_optimal(coupling, edges)
+    slow = solve_depth_optimal(coupling, edges, use_heuristic=False)
+    assert fast.depth == slow.depth
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=3, unique=True))
+def test_astar_matches_uniform_cost_on_2x2_grid(indices):
+    coupling = grid(2, 2)
+    edges = sorted(set(edges_for(4, indices)))
+    fast = solve_depth_optimal(coupling, edges)
+    slow = solve_depth_optimal(coupling, edges, use_heuristic=False)
+    assert fast.depth == slow.depth
+
+
+def test_heuristic_reduces_expansions():
+    coupling = line(4)
+    edges = sorted(clique(4).edges)
+    fast = solve_depth_optimal(coupling, edges)
+    slow = solve_depth_optimal(coupling, edges, use_heuristic=False)
+    assert fast.depth == slow.depth
+    assert fast.nodes_expanded <= slow.nodes_expanded

@@ -1,0 +1,72 @@
+"""CLI tests (direct main() invocation with captured stdout)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestCompile:
+    def test_basic_compile(self, capsys):
+        code, out = run_cli(capsys, ["compile", "--arch", "grid",
+                                     "--qubits", "9", "--density", "0.4"])
+        assert code == 0
+        assert "depth" in out
+        assert "method:   hybrid" in out
+
+    def test_method_selection(self, capsys):
+        code, out = run_cli(capsys, ["compile", "--arch", "line",
+                                     "--qubits", "6", "--method", "ata"])
+        assert code == 0
+        assert "method:   ata" in out
+
+    def test_noise_flag_adds_esp(self, capsys):
+        code, out = run_cli(capsys, ["compile", "--arch", "grid",
+                                     "--qubits", "9", "--noise"])
+        assert code == 0
+        assert "esp" in out
+
+    def test_qasm_output(self, capsys, tmp_path):
+        target = tmp_path / "out.qasm"
+        code, out = run_cli(capsys, ["compile", "--arch", "line",
+                                     "--qubits", "5", "--qasm", str(target)])
+        assert code == 0
+        text = target.read_text()
+        assert text.splitlines()[0].startswith("//")
+        assert "OPENQASM 2.0;" in text
+
+
+class TestOtherCommands:
+    def test_compare(self, capsys):
+        code, out = run_cli(capsys, ["compare", "--arch", "grid",
+                                     "--qubits", "9"])
+        assert code == 0
+        for method in ("greedy", "ata", "hybrid"):
+            assert method in out
+
+    def test_clique(self, capsys):
+        code, out = run_cli(capsys, ["clique", "--arch", "grid",
+                                     "--qubits", "9"])
+        assert code == 0
+        assert "clique-9" in out
+        assert "per qubit" in out
+
+    def test_info(self, capsys):
+        code, out = run_cli(capsys, ["info", "--arch", "heavyhex",
+                                     "--qubits", "30"])
+        assert code == 0
+        assert "kind:      heavyhex" in out
+        assert "couplings:" in out
+
+    def test_unknown_arch_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["info", "--arch", "torus"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

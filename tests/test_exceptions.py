@@ -1,0 +1,45 @@
+"""Exception-surface tests: every failure mode raises the right type."""
+
+import pytest
+
+from repro.exceptions import (ArchitectureError, CompilationError,
+                              ReproError, SolverError, ValidationError)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [ValidationError, ArchitectureError,
+                                     CompilationError, SolverError])
+    def test_subclasses_of_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ValidationError("boom")
+
+
+class TestRaisedFromRealPaths:
+    def test_architecture_error_from_bad_edge(self):
+        from repro.arch.coupling import CouplingGraph
+        with pytest.raises(ArchitectureError):
+            CouplingGraph(2, [(0, 5)])
+
+    def test_architecture_error_from_disconnection(self):
+        from repro.arch.coupling import CouplingGraph
+        g = CouplingGraph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ArchitectureError):
+            g.distance(0, 3)
+
+    def test_validation_error_from_validator(self):
+        from repro.ir import Circuit, Mapping, Op, validate_compiled
+        c = Circuit(2, [Op.cphase(0, 1)])
+        with pytest.raises(ValidationError):
+            validate_compiled(c, [(0, 1)], Mapping.trivial(2), [])
+
+    def test_solver_error_from_budget(self):
+        from repro.arch import line
+        from repro.problems import clique
+        from repro.solver import solve_depth_optimal
+        with pytest.raises(SolverError):
+            solve_depth_optimal(line(5), sorted(clique(5).edges),
+                                max_nodes=2)

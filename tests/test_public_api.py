@@ -1,0 +1,40 @@
+"""Smoke tests for the package-level public API."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_top_level_exports():
+    for name in ("Circuit", "Mapping", "Op", "validate_compiled",
+                 "compile_qaoa", "ReproError", "ValidationError"):
+        assert hasattr(repro, name), name
+
+
+def test_top_level_compile_qaoa_lazy_wrapper():
+    from repro.arch import line
+    from repro.problems import clique
+
+    result = repro.compile_qaoa(line(4), clique(4))
+    assert result.depth() > 0
+
+
+def test_exception_hierarchy():
+    assert issubclass(repro.ValidationError, repro.ReproError)
+    assert issubclass(repro.ArchitectureError, repro.ReproError)
+    assert issubclass(repro.CompilationError, repro.ReproError)
+    assert issubclass(repro.SolverError, repro.ReproError)
+
+
+def test_subpackages_importable():
+    import repro.analysis
+    import repro.arch
+    import repro.ata
+    import repro.baselines
+    import repro.compiler
+    import repro.ir
+    import repro.problems
+    import repro.sim
+    import repro.solver
