@@ -16,13 +16,11 @@ from __future__ import annotations
 
 import os
 import pathlib
-from typing import Callable, Dict, List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.analysis import format_table
-from repro.arch import NoiseModel, architecture_for
-from repro.baselines import (compile_olsq, compile_paulihedral, compile_qaim,
-                             compile_satmap, compile_twoqan)
-from repro.compiler import compile_qaoa
+from repro.arch import architecture_for
+from repro.batch import BatchJob, compile_many, resolve_compiler
 from repro.problems import (ProblemGraph, random_problem_graph,
                             regular_for_density)
 
@@ -32,9 +30,39 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: keep the default run short while still smoothing variance).
 SEEDS = (0, 1)
 
+#: Benchmark column name -> batch-engine compiler method.  All compilation
+#: now routes through :mod:`repro.batch`, so every point benefits from the
+#: process-local distance-matrix/pattern caches and, with
+#: ``REPRO_BATCH_WORKERS=N``, from process-pool fan-out.
+COMPILER_METHODS: Dict[str, str] = {
+    "ours": "hybrid",
+    "greedy": "greedy",
+    "solver": "ata",
+    "qaim": "qaim",
+    "paulihedral": "paulihedral",
+    "2qan": "2qan",
+    "olsq": "olsq",
+    "satmap": "satmap",
+}
+
+#: Legacy-compatible callables (kept for ad-hoc use by benchmark files).
+COMPILERS = {
+    name: (lambda coupling, problem, noise=None, _m=method:
+           resolve_compiler(_m)(coupling, problem, noise=noise))
+    for name, method in COMPILER_METHODS.items()
+}
+
 
 def full_scale() -> bool:
     return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0")
+
+
+def batch_workers() -> int:
+    """Worker processes for averaged points (``REPRO_BATCH_WORKERS``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BATCH_WORKERS", "1")))
+    except ValueError:
+        return 1
 
 
 def benchmark_sizes() -> List[int]:
@@ -49,30 +77,11 @@ def problem_for(kind: str, n: int, density: float, seed: int) -> ProblemGraph:
     raise ValueError(f"unknown problem kind {kind!r}")
 
 
-COMPILERS: Dict[str, Callable] = {
-    "ours": lambda coupling, problem, noise=None:
-        compile_qaoa(coupling, problem, method="hybrid", noise=noise),
-    "greedy": lambda coupling, problem, noise=None:
-        compile_qaoa(coupling, problem, method="greedy", noise=noise),
-    "solver": lambda coupling, problem, noise=None:
-        compile_qaoa(coupling, problem, method="ata"),
-    "qaim": lambda coupling, problem, noise=None:
-        compile_qaim(coupling, problem),
-    "paulihedral": lambda coupling, problem, noise=None:
-        compile_paulihedral(coupling, problem),
-    "2qan": lambda coupling, problem, noise=None:
-        compile_twoqan(coupling, problem),
-    "olsq": lambda coupling, problem, noise=None:
-        compile_olsq(coupling, problem),
-    "satmap": lambda coupling, problem, noise=None:
-        compile_satmap(coupling, problem),
-}
-
-
 def run_point(arch_kind: str, problem: ProblemGraph,
               compilers: Sequence[str],
               validate: bool = True) -> Dict[str, Dict[str, float]]:
-    """Compile one problem with several compilers; return metric rows."""
+    """Compile one concrete problem with several compilers (in-process;
+    used by benchmarks that build non-random problem graphs)."""
     coupling = architecture_for(arch_kind, problem.n_vertices)
     out: Dict[str, Dict[str, float]] = {}
     for name in compilers:
@@ -90,16 +99,31 @@ def run_point(arch_kind: str, problem: ProblemGraph,
 def averaged_point(arch_kind: str, kind: str, n: int, density: float,
                    compilers: Sequence[str],
                    seeds: Sequence[int] = SEEDS) -> Dict[str, Dict[str, float]]:
-    """Average metrics over several random instances (paper methodology)."""
+    """Average metrics over several random instances (paper methodology).
+
+    Runs through the batch engine: serial by default, fanned out over
+    ``REPRO_BATCH_WORKERS`` processes when set.  A failed instance raises
+    with the captured per-job error.
+    """
+    jobs = [
+        BatchJob(arch=arch_kind, n_qubits=n, workload=kind, density=density,
+                 seed=seed, method=COMPILER_METHODS[name])
+        for name in compilers for seed in seeds]
+    workers = batch_workers()
+    report = compile_many(
+        jobs, workers=workers,
+        executor="process" if workers > 1 else "serial")
+    if report.failures:
+        failed = report.failures[0]
+        raise RuntimeError(f"benchmark point failed — {failed.summary()}")
     totals: Dict[str, Dict[str, float]] = {}
-    for seed in seeds:
-        problem = problem_for(kind, n, density, seed)
-        point = run_point(arch_kind, problem, compilers)
-        for name, metrics in point.items():
-            bucket = totals.setdefault(
-                name, {key: 0.0 for key in metrics})
-            for key, value in metrics.items():
-                bucket[key] += value
+    for name, result in zip(
+            [n_ for n_ in compilers for _ in seeds], report.results):
+        bucket = totals.setdefault(
+            name, {"depth": 0.0, "cx": 0.0, "time_s": 0.0})
+        bucket["depth"] += result.record["depth"]
+        bucket["cx"] += result.record["cx"]
+        bucket["time_s"] += result.record["wall_time_s"]
     for metrics in totals.values():
         for key in metrics:
             metrics[key] /= len(seeds)

@@ -7,6 +7,8 @@ Public API highlights
 ---------------------
 
 * :func:`repro.compile_qaoa` — the paper's hybrid compiler (greedy + ATA).
+* :func:`repro.compile_many` / :mod:`repro.batch` — batch compilation over
+  a process pool with shared caches, per-job timeouts and telemetry.
 * :mod:`repro.arch` — line / grid / Sycamore / hexagon / heavy-hex coupling
   graphs with synthetic noise calibration.
 * :mod:`repro.ata` — structured all-to-all swap-network patterns.
@@ -34,8 +36,19 @@ def compile_qaoa(*args, **kwargs):
     return _compile(*args, **kwargs)
 
 
+def compile_many(*args, **kwargs):
+    """Batch-compile many job specs (lazy import of the batch engine).
+
+    See :func:`repro.batch.compile_many` for the full signature.
+    """
+    from .batch import compile_many as _many
+
+    return _many(*args, **kwargs)
+
+
 __all__ = [
     "compile_qaoa",
+    "compile_many",
     "Circuit",
     "Mapping",
     "Op",

@@ -1,0 +1,109 @@
+"""Process-local cache registry and stage timers.
+
+This is a leaf module (imports nothing from :mod:`repro`) so that the hot
+modules — :mod:`repro.arch.coupling`, :mod:`repro.ata.registry`,
+:mod:`repro.compiler.framework` — can share counters without creating
+import cycles with the batch engine that reports them.
+
+Every memoization site creates a :class:`CacheCounter` and registers it
+together with ``size``/``clear`` callbacks; :func:`cache_info` then gives a
+single point-in-time view of all caches in this process, and
+:func:`cache_delta` turns two such views into the per-compilation hit/miss
+deltas that :func:`repro.compile_qaoa` stores under
+``CompiledResult.extra["cache"]``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+
+class CacheCounter:
+    """Hit/miss tally for one memoization site."""
+
+    __slots__ = ("name", "hits", "misses")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+
+    def hit(self) -> None:
+        self.hits += 1
+
+    def miss(self) -> None:
+        self.misses += 1
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:
+        return f"CacheCounter({self.name!r}, hits={self.hits}, misses={self.misses})"
+
+
+_REGISTRY: Dict[str, tuple] = {}
+
+
+def register_cache(name: str, counter: CacheCounter,
+                   size_fn: Callable[[], int],
+                   clear_fn: Callable[[], None]) -> CacheCounter:
+    """Register a memoization site; returns ``counter`` for convenience."""
+    _REGISTRY[name] = (counter, size_fn, clear_fn)
+    return counter
+
+
+def cache_info() -> Dict[str, Dict[str, int]]:
+    """``{cache_name: {"hits", "misses", "size"}}`` for every registered cache."""
+    out: Dict[str, Dict[str, int]] = {}
+    for name, (counter, size_fn, _clear) in sorted(_REGISTRY.items()):
+        info = counter.snapshot()
+        info["size"] = size_fn()
+        out[name] = info
+    return out
+
+
+def cache_delta(before: Dict[str, Dict[str, int]],
+                after: Dict[str, Dict[str, int]]) -> Dict[str, Dict[str, int]]:
+    """Hits/misses accrued between two :func:`cache_info` snapshots."""
+    delta: Dict[str, Dict[str, int]] = {}
+    for name, now in after.items():
+        then = before.get(name, {})
+        delta[name] = {
+            "hits": now["hits"] - then.get("hits", 0),
+            "misses": now["misses"] - then.get("misses", 0),
+        }
+    return delta
+
+
+def clear_caches() -> None:
+    """Empty every registered cache and zero its counters (test isolation)."""
+    for counter, _size, clear_fn in _REGISTRY.values():
+        clear_fn()
+        counter.reset()
+
+
+class StageTimer:
+    """Accumulate named wall-clock stage durations for one compilation."""
+
+    def __init__(self) -> None:
+        self.timings: Dict[str, float] = {}
+        self._started: Optional[tuple] = None
+
+    def start(self, stage: str) -> None:
+        self._started = (stage, time.perf_counter())
+
+    def stop(self) -> float:
+        """Close the open stage, accumulating into its bucket."""
+        stage, t0 = self._started
+        elapsed = time.perf_counter() - t0
+        self.timings[stage] = self.timings.get(stage, 0.0) + elapsed
+        self._started = None
+        return elapsed
+
+    def record(self, stage: str, seconds: float) -> None:
+        self.timings[stage] = self.timings.get(stage, 0.0) + seconds

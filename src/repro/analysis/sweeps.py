@@ -2,12 +2,19 @@
 
 A *sweep* compiles a grid of (architecture, workload, compiler) points and
 collects the paper's metrics, optionally averaging over random seeds.
+
+Compilers may be given either as callables (legacy, runs in-process) or as
+method-name strings understood by :mod:`repro.batch` (``"hybrid"``,
+``"greedy"``, ``"ata"``, baseline names) — the string form routes every
+cell through the batch engine, which memoizes distance matrices and ATA
+patterns across cells and, with ``workers > 1``, fans the sweep out over a
+process pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..arch.coupling import CouplingGraph
 from ..arch.registry import architecture_for
@@ -16,6 +23,7 @@ from ..problems.graphs import (ProblemGraph, random_problem_graph,
                                regular_for_density)
 
 CompilerFn = Callable[[CouplingGraph, ProblemGraph], CompiledResult]
+CompilerSpec = Union[str, CompilerFn]
 
 
 @dataclass
@@ -83,16 +91,32 @@ def make_workload(kind: str, n: int, density: float,
 def run_sweep(
     arch_kinds: Sequence[str],
     workloads: Sequence[tuple],
-    compilers: Dict[str, CompilerFn],
+    compilers: Dict[str, CompilerSpec],
     seeds: Sequence[int] = (0,),
     validate: bool = True,
     coupling_factory: Optional[Callable[[str, int], CouplingGraph]] = None,
+    workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
 ) -> SweepResult:
     """Compile every (arch, workload, compiler) cell, averaged over seeds.
 
     ``workloads`` entries are ``(kind, n, density)`` tuples; the workload
     label in the result is ``"{kind}-{n}-{density}"``.
+
+    ``compilers`` values that are strings (and no custom
+    ``coupling_factory``) run through :func:`repro.batch.compile_many` —
+    serially by default, over ``workers`` processes when given.  A failed
+    cell raises ``RuntimeError`` naming the job and the captured error.
     """
+    batchable = (coupling_factory is None
+                 and all(isinstance(spec, str) for spec in compilers.values()))
+    if batchable:
+        return _run_sweep_batched(arch_kinds, workloads, compilers, seeds,
+                                  validate, workers, timeout_s)
+    if workers and workers > 1:
+        raise ValueError(
+            "workers > 1 needs picklable cells: name compilers by method "
+            "string and drop coupling_factory")
     factory = coupling_factory or architecture_for
     result = SweepResult()
     for arch in arch_kinds:
@@ -118,4 +142,61 @@ def run_sweep(
                     arch=arch, workload=label, compiler=name,
                     depth=acc[0] / k, cx=acc[1] / k, swaps=acc[2] / k,
                     time_s=acc[3] / k, n_seeds=k))
+    return result
+
+
+def _run_sweep_batched(
+    arch_kinds: Sequence[str],
+    workloads: Sequence[tuple],
+    compilers: Dict[str, str],
+    seeds: Sequence[int],
+    validate: bool,
+    workers: Optional[int],
+    timeout_s: Optional[float],
+) -> SweepResult:
+    """Route the sweep grid through the batch engine, then re-aggregate."""
+    from ..batch import BatchJob, compile_many
+
+    jobs: List[BatchJob] = []
+    cells: List[tuple] = []  # parallel to jobs: (arch, label, compiler name)
+    for arch in arch_kinds:
+        for kind, n, density in workloads:
+            label = f"{kind}-{n}-{density:g}"
+            for name, method in compilers.items():
+                for seed in seeds:
+                    jobs.append(BatchJob(
+                        arch=arch, n_qubits=n, workload=kind,
+                        density=density, seed=seed, method=method,
+                        validate=validate))
+                    cells.append((arch, label, name))
+    executor = "process" if workers and workers > 1 else "serial"
+    report = compile_many(jobs, workers=workers, timeout_s=timeout_s,
+                          executor=executor)
+    if report.failures:
+        detail = "; ".join(f"{r.job.name}: {r.error_type}: {r.error}"
+                           for r in report.failures[:5])
+        raise RuntimeError(
+            f"{len(report.failures)} sweep cell(s) failed — {detail}")
+
+    result = SweepResult()
+    accumulators: Dict[tuple, List[float]] = {}
+    order: List[tuple] = []
+    for cell, job_result in zip(cells, report.results):
+        if cell not in accumulators:
+            accumulators[cell] = [0.0, 0.0, 0.0, 0.0, 0]
+            order.append(cell)
+        acc = accumulators[cell]
+        record = job_result.record
+        acc[0] += record["depth"]
+        acc[1] += record["cx"]
+        acc[2] += record["swaps"]
+        acc[3] += record["wall_time_s"]
+        acc[4] += 1
+    for (arch, label, name) in order:
+        acc = accumulators[(arch, label, name)]
+        k = acc[4]
+        result.points.append(SweepPoint(
+            arch=arch, workload=label, compiler=name,
+            depth=acc[0] / k, cx=acc[1] / k, swaps=acc[2] / k,
+            time_s=acc[3] / k, n_seeds=k))
     return result

@@ -13,10 +13,34 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._telemetry import CacheCounter, register_cache
 from ..exceptions import ArchitectureError
 from ..ir.gates import canonical_edge
 
 _UNREACHABLE = np.iinfo(np.int32).max
+
+#: Process-local memo of BFS all-pairs matrices, keyed by graph structure.
+#: Re-instantiating the same architecture (a batch sweep, a worker process
+#: handling many jobs) reuses the O(V*E) computation; the cached array is
+#: frozen read-only so instances can share it safely.
+_DISTANCE_CACHE: Dict[tuple, np.ndarray] = {}
+_DISTANCE_CACHE_CAP = 128
+_DISTANCE_COUNTER = register_cache(
+    "distance_matrix", CacheCounter("distance_matrix"),
+    lambda: len(_DISTANCE_CACHE), lambda: _DISTANCE_CACHE.clear())
+
+
+def distance_cache_info() -> Dict[str, int]:
+    """Hits/misses/size of the process-local distance-matrix cache."""
+    info = _DISTANCE_COUNTER.snapshot()
+    info["size"] = len(_DISTANCE_CACHE)
+    return info
+
+
+def clear_distance_cache() -> None:
+    """Drop every memoized distance matrix and zero the counters."""
+    _DISTANCE_CACHE.clear()
+    _DISTANCE_COUNTER.reset()
 
 
 class CouplingGraph:
@@ -100,11 +124,28 @@ class CouplingGraph:
 
     # -- distances ----------------------------------------------------------------
 
+    def _structure_key(self) -> tuple:
+        """Hashable identity of the connectivity (what distances depend on)."""
+        return (self.kind, self.n_qubits, self._edges)
+
     @property
     def distance_matrix(self) -> np.ndarray:
-        """All-pairs shortest-path hop counts (int32, lazily computed)."""
+        """All-pairs shortest-path hop counts (int32, computed lazily and
+        memoized process-wide by graph structure; the returned array is
+        read-only)."""
         if self._distances is None:
-            self._distances = self._bfs_all_pairs()
+            key = self._structure_key()
+            cached = _DISTANCE_CACHE.get(key)
+            if cached is None:
+                _DISTANCE_COUNTER.miss()
+                cached = self._bfs_all_pairs()
+                cached.setflags(write=False)
+                if len(_DISTANCE_CACHE) >= _DISTANCE_CACHE_CAP:
+                    _DISTANCE_CACHE.pop(next(iter(_DISTANCE_CACHE)))
+                _DISTANCE_CACHE[key] = cached
+            else:
+                _DISTANCE_COUNTER.hit()
+            self._distances = cached
         return self._distances
 
     def distance(self, u: int, v: int) -> int:

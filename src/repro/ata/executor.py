@@ -56,7 +56,7 @@ def execute_pattern(
     def active(logical) -> bool:
         return logical is not None and degree.get(logical, 0) > 0
 
-    for cycle in pattern.cycles():
+    for cycle in pattern.iter_cycles():
         if not needed:
             break
         used: Set[int] = set()

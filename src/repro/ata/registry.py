@@ -1,7 +1,19 @@
-"""Dispatch from a coupling graph to its structured ATA pattern."""
+"""Dispatch from a coupling graph to its structured ATA pattern.
+
+``get_pattern`` memoizes the constructed pattern process-wide, keyed by
+``(kind, n_qubits, frozen(metadata))`` — patterns are stateless schedules
+over *physical positions*, so two architecturally identical devices share
+one instance.  Cached patterns also materialize their cycle list on first
+execution (:meth:`AtaPattern.enable_cycle_cache`), turning the per-compile
+schedule generation into a list replay.  The batch engine leans on both
+caches; counters are exposed through :func:`repro._telemetry.cache_info`.
+"""
 
 from __future__ import annotations
 
+from typing import Dict
+
+from .._telemetry import CacheCounter, register_cache
 from ..arch.coupling import CouplingGraph
 from ..exceptions import ArchitectureError
 from .base import AtaPattern
@@ -11,9 +23,43 @@ from .heavyhex_pattern import HeavyHexPattern
 from .line_pattern import LinePattern
 from .paired_units import HexagonPattern, SycamorePattern
 
+_PATTERN_CACHE: Dict[tuple, AtaPattern] = {}
+_PATTERN_CACHE_CAP = 128
+_PATTERN_COUNTER = register_cache(
+    "pattern", CacheCounter("pattern"),
+    lambda: len(_PATTERN_CACHE), lambda: _PATTERN_CACHE.clear())
 
-def get_pattern(coupling: CouplingGraph) -> AtaPattern:
-    """The architecture-appropriate full-clique ATA pattern."""
+
+def _freeze(value):
+    """Recursively convert architecture metadata into a hashable key part."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(_freeze(v) for v in value)
+    return value
+
+
+def pattern_cache_key(coupling: CouplingGraph) -> tuple:
+    """The memoization key: structural family, size, and metadata."""
+    return (coupling.kind, coupling.n_qubits, _freeze(coupling.metadata))
+
+
+def pattern_cache_info() -> Dict[str, int]:
+    """Hits/misses/size of the process-local pattern cache."""
+    info = _PATTERN_COUNTER.snapshot()
+    info["size"] = len(_PATTERN_CACHE)
+    return info
+
+
+def clear_pattern_cache() -> None:
+    """Drop every memoized pattern and zero the counters."""
+    _PATTERN_CACHE.clear()
+    _PATTERN_COUNTER.reset()
+
+
+def _build_pattern(coupling: CouplingGraph) -> AtaPattern:
     kind = coupling.kind
     if kind == "line":
         return LinePattern(coupling.metadata["path"])
@@ -32,6 +78,28 @@ def get_pattern(coupling: CouplingGraph) -> AtaPattern:
         return LinePattern(path)  # snake fallback for any traversable device
     raise ArchitectureError(
         f"no structured ATA pattern for architecture kind {kind!r}")
+
+
+def get_pattern(coupling: CouplingGraph, cached: bool = True) -> AtaPattern:
+    """The architecture-appropriate full-clique ATA pattern.
+
+    With ``cached=True`` (default) the pattern instance is memoized by
+    :func:`pattern_cache_key` and its cycle list materialized on first
+    execution; pass ``cached=False`` for a fresh, fully lazy instance.
+    """
+    if not cached:
+        return _build_pattern(coupling)
+    key = pattern_cache_key(coupling)
+    pattern = _PATTERN_CACHE.get(key)
+    if pattern is None:
+        _PATTERN_COUNTER.miss()
+        pattern = _build_pattern(coupling).enable_cycle_cache()
+        if len(_PATTERN_CACHE) >= _PATTERN_CACHE_CAP:
+            _PATTERN_CACHE.pop(next(iter(_PATTERN_CACHE)))
+        _PATTERN_CACHE[key] = pattern
+    else:
+        _PATTERN_COUNTER.hit()
+    return pattern
 
 
 def snake_pattern(coupling: CouplingGraph) -> LinePattern:

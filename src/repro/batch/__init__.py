@@ -1,0 +1,37 @@
+"""Batch compilation: many instances, worker pools, caches, telemetry.
+
+The sweep workloads in ``benchmarks/`` and ``repro.analysis.sweeps`` pay
+the full pattern-generation and BFS-distance cost per instance when run
+serially.  This package provides:
+
+* :func:`compile_many` — fan :class:`BatchJob` specs out over a process
+  pool with per-job timeouts and graceful per-instance failure capture;
+* process-local memoization of distance matrices and ATA patterns
+  (:mod:`repro.batch.cache`), with hit/miss counters surfaced both per
+  job and aggregated in the :class:`BatchReport`;
+* the ``python -m repro batch`` CLI subcommand built on top.
+
+See ``docs/batch.md`` for the full reference.
+"""
+
+from .cache import cache_delta, cache_info, clear_caches
+from .engine import (BatchReport, JobTimeout, compile_many, default_workers,
+                     execute_job, jobs_for)
+from .jobs import METHODS, WORKLOADS, BatchJob, JobResult, resolve_compiler
+
+__all__ = [
+    "BatchJob",
+    "JobResult",
+    "BatchReport",
+    "JobTimeout",
+    "compile_many",
+    "execute_job",
+    "jobs_for",
+    "default_workers",
+    "resolve_compiler",
+    "METHODS",
+    "WORKLOADS",
+    "cache_info",
+    "cache_delta",
+    "clear_caches",
+]

@@ -1,0 +1,284 @@
+"""The batch compilation engine: ``compile_many`` over a process pool.
+
+Design (ISSUE 1 tentpole):
+
+* **Fan-out** — jobs are picklable :class:`BatchJob` specs; workers
+  rebuild each instance locally, so the process-local distance-matrix and
+  pattern caches (see :mod:`repro._telemetry`) warm up once per worker and
+  amortize across every job that worker handles.  With the default
+  ``fork`` start method the workers additionally inherit any cache
+  entries the parent already holds.
+* **Per-job timeout** — enforced *inside* the worker with ``SIGALRM``
+  (``signal.setitimer``), so an overrunning instance turns into an
+  ``ok=False`` record instead of wedging a pool slot or killing the
+  batch.  On platforms/threads without ``SIGALRM`` the timeout degrades
+  to unenforced (noted in the report).
+* **Graceful failure capture** — any exception in a job (bad spec,
+  compilation error, validation failure, timeout) becomes a structured
+  :class:`JobResult` with the exception type and message; the remaining
+  jobs are unaffected.
+
+``compile_many`` returns a :class:`BatchReport` that preserves job order,
+aggregates cache hit/miss counters and stage timings, and renders a table
+via :func:`repro.analysis.format_table`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .._telemetry import cache_delta, cache_info
+from .jobs import BatchJob, JobResult
+
+EXECUTORS = ("process", "thread", "serial")
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a job exceeds its per-job timeout."""
+
+
+def _alarm_supported() -> bool:
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
+class _deadline:
+    """Context manager arming SIGALRM for ``seconds`` (no-op if unusable)."""
+
+    def __init__(self, seconds: Optional[float]) -> None:
+        self.seconds = seconds
+        self.armed = False
+
+    def __enter__(self):
+        if self.seconds and self.seconds > 0 and _alarm_supported():
+            def _on_alarm(signum, frame):
+                raise JobTimeout(
+                    f"job exceeded the per-job timeout of {self.seconds}s")
+            self._previous = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self.armed = True
+        return self
+
+    def __exit__(self, *exc):
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+        return False
+
+
+def execute_job(job: BatchJob, timeout_s: Optional[float] = None) -> JobResult:
+    """Run one job to a :class:`JobResult`; never raises.
+
+    This is the module-level worker entry point (must stay picklable for
+    ``ProcessPoolExecutor``).  The per-job cache delta is measured around
+    the whole job — including coupling/problem construction — so baseline
+    methods without compiler telemetry still report cache reuse.
+    """
+    start = time.perf_counter()
+    before = cache_info()
+    try:
+        with _deadline(timeout_s):
+            from .jobs import resolve_compiler
+
+            coupling, problem, noise = job.build()
+            compiler = resolve_compiler(job.method)
+            result = compiler(coupling, problem, noise=noise,
+                              gamma=job.gamma, **dict(job.options))
+            if job.validate:
+                result.validate(coupling, problem)
+            record = result.to_record()
+        return JobResult(
+            job=job, ok=True, wall_time_s=time.perf_counter() - start,
+            record=record, cache=cache_delta(before, cache_info()))
+    except Exception as exc:  # per-job failure capture, not batch abort
+        return JobResult(
+            job=job, ok=False, wall_time_s=time.perf_counter() - start,
+            cache=cache_delta(before, cache_info()),
+            error=str(exc), error_type=type(exc).__name__)
+
+
+@dataclass
+class BatchReport:
+    """Everything ``compile_many`` learned, in job order."""
+
+    results: List[JobResult]
+    wall_time_s: float
+    workers: int
+    executor: str
+    timeout_s: Optional[float] = None
+    timeout_enforced: bool = True
+
+    @property
+    def ok(self) -> List[JobResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failures(self) -> List[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+    def cache_totals(self) -> Dict[str, Dict[str, int]]:
+        """Summed per-job cache deltas: proof of cross-job memoization."""
+        totals: Dict[str, Dict[str, int]] = {}
+        for result in self.results:
+            for name, delta in result.cache.items():
+                bucket = totals.setdefault(name, {"hits": 0, "misses": 0})
+                bucket["hits"] += delta.get("hits", 0)
+                bucket["misses"] += delta.get("misses", 0)
+        return totals
+
+    def stage_totals(self) -> Dict[str, float]:
+        """Summed per-stage compile seconds across successful jobs."""
+        totals: Dict[str, float] = {}
+        for result in self.ok:
+            for stage, seconds in result.telemetry.get("timings",
+                                                       {}).items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
+
+    def compile_time_s(self) -> float:
+        """Summed in-worker job seconds (the serial-equivalent cost)."""
+        return sum(r.wall_time_s for r in self.results)
+
+    def rows(self) -> List[List[object]]:
+        out: List[List[object]] = []
+        for r in self.results:
+            if r.ok:
+                out.append([r.job.name, "ok", r.record.get("depth"),
+                            r.record.get("cx"), r.record.get("swaps"),
+                            round(r.wall_time_s, 3)])
+            else:
+                out.append([r.job.name, f"FAILED ({r.error_type})",
+                            "-", "-", "-", round(r.wall_time_s, 3)])
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.ok)}/{len(self.results)} jobs ok, "
+            f"{len(self.failures)} failed; wall {self.wall_time_s:.2f}s "
+            f"({self.compile_time_s():.2f}s of work, {self.workers} "
+            f"{self.executor} worker(s))"]
+        for name, totals in sorted(self.cache_totals().items()):
+            lines.append(f"cache {name}: {totals['hits']} hits / "
+                         f"{totals['misses']} misses")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict:
+        """JSON-serializable dump (specs, records, errors, aggregates)."""
+        return {
+            "wall_time_s": self.wall_time_s,
+            "workers": self.workers,
+            "executor": self.executor,
+            "timeout_s": self.timeout_s,
+            "timeout_enforced": self.timeout_enforced,
+            "cache_totals": self.cache_totals(),
+            "stage_totals": self.stage_totals(),
+            "jobs": [
+                {
+                    "name": r.job.name,
+                    "spec": {
+                        "arch": r.job.arch, "n_qubits": r.job.n_qubits,
+                        "workload": r.job.workload,
+                        "density": r.job.density, "seed": r.job.seed,
+                        "method": r.job.method,
+                    },
+                    "ok": r.ok,
+                    "wall_time_s": r.wall_time_s,
+                    "record": r.record,
+                    "cache": r.cache,
+                    "error": r.error,
+                    "error_type": r.error_type,
+                }
+                for r in self.results
+            ],
+        }
+
+
+def default_workers(n_jobs: int) -> int:
+    """Pool size: one worker per job up to the machine's CPU count."""
+    return max(1, min(n_jobs, os.cpu_count() or 1))
+
+
+def compile_many(
+    jobs: Iterable[BatchJob],
+    workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    executor: str = "process",
+) -> BatchReport:
+    """Compile every job, fanning out over a worker pool.
+
+    Parameters
+    ----------
+    jobs:
+        Picklable :class:`BatchJob` specs; results preserve this order.
+    workers:
+        Pool size (default: one per job, capped at CPU count).  ``0`` or
+        ``1`` degrades to the in-process serial path.
+    timeout_s:
+        Per-job wall-clock budget, enforced in-worker via ``SIGALRM``
+        where available; an overrun becomes an ``ok=False`` record.
+    executor:
+        ``"process"`` (default), ``"thread"`` (no timeout enforcement,
+        GIL-bound — mostly for debugging), or ``"serial"``.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+    job_list = list(jobs)
+    if workers is None:
+        workers = default_workers(len(job_list))
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (got {workers})")
+    start = time.perf_counter()
+    enforced = _alarm_supported() if timeout_s else True
+
+    if executor == "serial" or workers <= 1 or len(job_list) <= 1:
+        results = [execute_job(job, timeout_s) for job in job_list]
+        return BatchReport(results, time.perf_counter() - start,
+                           workers=1, executor="serial",
+                           timeout_s=timeout_s, timeout_enforced=enforced)
+
+    pool_cls = (ProcessPoolExecutor if executor == "process"
+                else ThreadPoolExecutor)
+    if executor == "thread" and timeout_s:
+        enforced = False  # SIGALRM cannot fire on worker threads
+    results: List[Optional[JobResult]] = [None] * len(job_list)
+    with pool_cls(max_workers=workers) as pool:
+        futures = {
+            pool.submit(execute_job, job, timeout_s): index
+            for index, job in enumerate(job_list)}
+        for future, index in futures.items():
+            try:
+                results[index] = future.result()
+            except Exception as exc:  # pool breakage (e.g. worker killed)
+                results[index] = JobResult(
+                    job=job_list[index], ok=False,
+                    error=str(exc), error_type=type(exc).__name__)
+    return BatchReport(results, time.perf_counter() - start,
+                       workers=workers, executor=executor,
+                       timeout_s=timeout_s, timeout_enforced=enforced)
+
+
+def jobs_for(
+    archs: Sequence[str],
+    n_qubits: int,
+    methods: Sequence[str] = ("hybrid",),
+    workloads: Sequence[str] = ("rand",),
+    density: float = 0.3,
+    seeds: Sequence[int] = (0,),
+    **job_kwargs,
+) -> List[BatchJob]:
+    """The cartesian product helper behind ``python -m repro batch``."""
+    return [
+        BatchJob(arch=arch, n_qubits=n_qubits, workload=workload,
+                 density=density, seed=seed, method=method, **job_kwargs)
+        for arch in archs
+        for workload in workloads
+        for method in methods
+        for seed in seeds
+    ]

@@ -1,0 +1,156 @@
+"""Picklable job specifications for the batch compilation engine.
+
+A :class:`BatchJob` names everything a worker process needs to rebuild the
+instance from scratch — architecture family and size, workload generator
+and seed, compiler method and options — using only primitives, so the spec
+crosses a ``ProcessPoolExecutor`` boundary cheaply.  The heavyweight
+objects (coupling graph, problem graph, noise model) are constructed
+inside the worker, where the process-local distance-matrix and pattern
+caches amortize them across the jobs that worker handles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Tuple
+
+WORKLOADS = ("rand", "reg", "clique")
+
+#: Compiler methods the engine can name.  ``hybrid``/``greedy``/``ata``
+#: run :func:`repro.compile_qaoa`; the rest are the baseline reimplementations
+#: (resolved lazily so importing :mod:`repro.batch` stays light).
+METHODS = ("hybrid", "greedy", "ata", "qaim", "paulihedral", "2qan",
+           "olsq", "satmap", "sabre")
+
+
+def resolve_compiler(method: str) -> Callable:
+    """``method`` name -> ``fn(coupling, problem, noise, gamma, **options)``.
+
+    Raises ``ValueError`` for unknown names, listing the valid ones.
+    """
+    if method in ("hybrid", "greedy", "ata"):
+        from ..compiler import compile_qaoa
+
+        def run(coupling, problem, noise=None, gamma=0.0, **options):
+            return compile_qaoa(coupling, problem, method=method,
+                                noise=noise, gamma=gamma, **options)
+        return run
+    if method in ("qaim", "paulihedral", "2qan", "olsq", "satmap", "sabre"):
+        from .. import baselines
+        fn = {
+            "qaim": baselines.compile_qaim,
+            "paulihedral": baselines.compile_paulihedral,
+            "2qan": baselines.compile_twoqan,
+            "olsq": baselines.compile_olsq,
+            "satmap": baselines.compile_satmap,
+            "sabre": baselines.compile_sabre,
+        }[method]
+
+        def run(coupling, problem, noise=None, gamma=0.0, **options):
+            return fn(coupling, problem, **options)
+        return run
+    raise ValueError(
+        f"unknown compiler method {method!r}; expected one of {METHODS}")
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One compilation instance, specified entirely by primitives."""
+
+    arch: str
+    n_qubits: int
+    workload: str = "rand"
+    density: float = 0.3
+    seed: int = 0
+    method: str = "hybrid"
+    gamma: float = 0.0
+    use_noise: bool = False
+    validate: bool = True
+    #: Extra keyword arguments forwarded to the compiler, as a sorted tuple
+    #: of ``(name, value)`` pairs so the spec stays hashable and picklable.
+    options: Tuple[Tuple[str, object], ...] = ()
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.n_qubits < 1:
+            raise ValueError(f"n_qubits must be >= 1 (got {self.n_qubits})")
+        if not 0.0 <= self.density <= 1.0:
+            raise ValueError(
+                f"density must be in [0, 1] (got {self.density})")
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"expected one of {WORKLOADS}")
+        resolve_compiler(self.method)  # fail fast on unknown methods
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable identity used in reports and tables."""
+        if self.label:
+            return self.label
+        if self.workload == "clique":
+            instance = f"clique-{self.n_qubits}"
+        else:
+            instance = (f"{self.workload}-{self.n_qubits}"
+                        f"-{self.density:g}-s{self.seed}")
+        return f"{self.arch}/{instance}/{self.method}"
+
+    def with_options(self, **options) -> "BatchJob":
+        """A copy with extra compiler keyword arguments merged in."""
+        merged = dict(self.options)
+        merged.update(options)
+        return replace(self, options=tuple(sorted(merged.items())))
+
+    def build(self):
+        """Materialize ``(coupling, problem, noise)`` inside the worker."""
+        from ..arch import NoiseModel, architecture_for
+        from ..problems import (clique, random_problem_graph,
+                                regular_for_density)
+
+        coupling = architecture_for(self.arch, self.n_qubits)
+        if self.workload == "rand":
+            problem = random_problem_graph(self.n_qubits, self.density,
+                                           seed=self.seed)
+        elif self.workload == "reg":
+            problem = regular_for_density(self.n_qubits, self.density,
+                                          seed=self.seed)
+        else:
+            problem = clique(self.n_qubits)
+        noise = NoiseModel(coupling, seed=self.seed) if self.use_noise \
+            else None
+        return coupling, problem, noise
+
+
+@dataclass
+class JobResult:
+    """Per-job outcome: metrics on success, a structured error otherwise.
+
+    A failing instance never kills the batch — it surfaces here with
+    ``ok=False``, the exception type and message, and the wall time spent.
+    """
+
+    job: BatchJob
+    ok: bool
+    wall_time_s: float = 0.0
+    record: Dict = field(default_factory=dict)
+    cache: Dict = field(default_factory=dict)
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    @property
+    def metrics(self) -> Dict:
+        """Shortcut to the compiled metrics (empty when the job failed)."""
+        return {k: v for k, v in self.record.items() if k != "extra"}
+
+    @property
+    def telemetry(self) -> Dict:
+        """The compiler's ``CompiledResult.extra`` payload (may be empty)."""
+        return self.record.get("extra", {})
+
+    def summary(self) -> str:
+        if not self.ok:
+            return (f"{self.job.name}: FAILED {self.error_type}: "
+                    f"{self.error}")
+        return (f"{self.job.name}: depth={self.record.get('depth')} "
+                f"cx={self.record.get('cx')} "
+                f"time={self.wall_time_s:.3f}s")

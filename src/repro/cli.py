@@ -5,6 +5,7 @@ Usage::
     python -m repro compile --arch heavyhex --qubits 32 --density 0.3
     python -m repro compile --arch grid --qubits 16 --method ata --qasm out.qasm
     python -m repro compare --arch sycamore --qubits 32 --density 0.3
+    python -m repro batch --arch grid,heavyhex --qubits 24 --count 8 --workers 4
     python -m repro clique --arch grid --qubits 25
     python -m repro info --arch heavyhex --qubits 64
 """
@@ -12,6 +13,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -20,6 +22,57 @@ from .arch import NoiseModel, architecture_for
 from .compiler import compile_qaoa
 from .ir.qasm import to_qasm
 from .problems import clique, random_problem_graph
+
+_ARCH_CHOICES = ["line", "grid", "sycamore", "hexagon", "heavyhex",
+                 "mumbai", "cube"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, with an actionable message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer >= 1, got {value}")
+    return value
+
+
+def _density(text: str) -> float:
+    """argparse type: a float in [0, 1] (fraction of possible edges)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"density is a fraction of possible edges and must be in "
+            f"[0, 1], got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _arch_list(text: str) -> List[str]:
+    """argparse type: comma-separated architecture families."""
+    archs = [part.strip() for part in text.split(",") if part.strip()]
+    if not archs:
+        raise argparse.ArgumentTypeError("expected at least one architecture")
+    for arch in archs:
+        if arch not in _ARCH_CHOICES:
+            raise argparse.ArgumentTypeError(
+                f"unknown architecture {arch!r}; choose from "
+                f"{', '.join(_ARCH_CHOICES)}")
+    return archs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,15 +84,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p):
-        p.add_argument("--arch", default="heavyhex",
-                       choices=["line", "grid", "sycamore", "hexagon",
-                                "heavyhex", "mumbai", "cube"])
-        p.add_argument("--qubits", type=int, default=32)
+        p.add_argument("--arch", default="heavyhex", choices=_ARCH_CHOICES)
+        p.add_argument("--qubits", type=_positive_int, default=32)
         p.add_argument("--seed", type=int, default=0)
 
     compile_p = sub.add_parser("compile", help="compile one instance")
     add_common(compile_p)
-    compile_p.add_argument("--density", type=float, default=0.3)
+    compile_p.add_argument("--density", type=_density, default=0.3)
     compile_p.add_argument("--method", default="hybrid",
                            choices=["hybrid", "greedy", "ata"])
     compile_p.add_argument("--gamma", type=float, default=0.0)
@@ -47,11 +98,40 @@ def build_parser() -> argparse.ArgumentParser:
                            help="use a synthetic noise calibration")
     compile_p.add_argument("--qasm", metavar="FILE",
                            help="write the compiled circuit as OpenQASM 2.0")
+    compile_p.add_argument("--telemetry", action="store_true",
+                           help="print per-stage timings and cache stats")
 
     compare_p = sub.add_parser("compare",
                                help="compare all compilation methods")
     add_common(compare_p)
-    compare_p.add_argument("--density", type=float, default=0.3)
+    compare_p.add_argument("--density", type=_density, default=0.3)
+
+    batch_p = sub.add_parser(
+        "batch", help="compile many instances over a worker pool")
+    batch_p.add_argument("--arch", type=_arch_list, default=["heavyhex"],
+                         metavar="A[,B,...]",
+                         help="comma-separated architecture families")
+    batch_p.add_argument("--qubits", type=_positive_int, default=32)
+    batch_p.add_argument("--count", type=_positive_int, default=8,
+                         help="instances per (arch, method): seeds "
+                              "SEED..SEED+COUNT-1")
+    batch_p.add_argument("--seed", type=int, default=0)
+    batch_p.add_argument("--density", type=_density, default=0.3)
+    batch_p.add_argument("--workload", default="rand",
+                         choices=["rand", "reg", "clique"])
+    batch_p.add_argument("--method", default="hybrid",
+                         help="comma-separated compiler methods "
+                              "(hybrid, greedy, ata, or a baseline name)")
+    batch_p.add_argument("--workers", type=_positive_int, default=None,
+                         help="pool size (default: min(jobs, CPU count))")
+    batch_p.add_argument("--timeout", type=_positive_float, default=None,
+                         metavar="SECONDS", help="per-job wall-clock budget")
+    batch_p.add_argument("--serial", action="store_true",
+                         help="run in-process (still cached + fault-tolerant)")
+    batch_p.add_argument("--no-validate", action="store_true",
+                         help="skip the semantic validator per job")
+    batch_p.add_argument("--json", metavar="FILE",
+                         help="write the full report as JSON")
 
     clique_p = sub.add_parser("clique",
                               help="compile the all-to-all special case")
@@ -76,12 +156,52 @@ def _cmd_compile(args) -> int:
     for key, value in metrics.items():
         print(f"{key:>8}: {value:.4g}" if isinstance(value, float)
               else f"{key:>8}: {value}")
+    if args.telemetry:
+        for stage, seconds in result.stage_timings.items():
+            print(f"stage {stage:>10}: {seconds:.4f}s")
+        for cache, delta in result.cache_stats.items():
+            print(f"cache {cache}: {delta['hits']} hits / "
+                  f"{delta['misses']} misses")
     if args.qasm:
         with open(args.qasm, "w") as handle:
             handle.write(to_qasm(result.circuit,
                                  comment=f"{problem.name} on {coupling.name}"))
         print(f"qasm written to {args.qasm}")
     return 0
+
+
+def _cmd_batch(args) -> int:
+    from .batch import compile_many, jobs_for
+
+    methods = [m.strip() for m in args.method.split(",") if m.strip()]
+    if not methods:
+        print("error: --method needs at least one compiler name",
+              file=sys.stderr)
+        return 2
+    try:
+        jobs = jobs_for(
+            args.arch, args.qubits, methods=methods,
+            workloads=(args.workload,), density=args.density,
+            seeds=tuple(range(args.seed, args.seed + args.count)),
+            validate=not args.no_validate)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = compile_many(
+        jobs, workers=args.workers, timeout_s=args.timeout,
+        executor="serial" if args.serial else "process")
+    print(format_table(
+        ["job", "status", "depth", "CX", "SWAPs", "seconds"],
+        report.rows(),
+        title=f"batch: {len(jobs)} jobs on {','.join(args.arch)}"))
+    print(report.summary())
+    if args.timeout and not report.timeout_enforced:
+        print("note: per-job timeout not enforced on this platform")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+        print(f"report written to {args.json}")
+    return 0 if not report.failures else 1
 
 
 def _cmd_compare(args) -> int:
@@ -129,6 +249,7 @@ def _cmd_info(args) -> int:
 _COMMANDS = {
     "compile": _cmd_compile,
     "compare": _cmd_compare,
+    "batch": _cmd_batch,
     "clique": _cmd_clique,
     "info": _cmd_info,
 }

@@ -14,6 +14,12 @@ suffix per snapshot is O(n) each, so we score an evenly-spaced sample
 (``max_predictions``, default 24, always including the pure-ATA and
 pure-greedy endpoints).  This preserves the guarantee and, in practice,
 the paper's "better than the best of the two" behaviour.
+
+Every result carries structured telemetry in ``CompiledResult.extra``:
+per-stage wall-clock timings, the hit/miss deltas of the process-local
+distance-matrix/pattern caches, and candidate-pool statistics.  The batch
+engine (:mod:`repro.batch`) aggregates these across jobs; see
+``docs/batch.md`` for the field-by-field reference.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from .._telemetry import StageTimer, cache_delta, cache_info
 from ..arch.coupling import CouplingGraph
 from ..arch.noise import NoiseModel
 from ..ata.base import AtaPattern
@@ -63,8 +70,15 @@ def compile_qaoa(
         raise ValueError(
             f"problem has {problem.n_vertices} qubits but {coupling.name} "
             f"has only {coupling.n_qubits}")
+    if max_predictions < 1:
+        raise ValueError(
+            f"max_predictions must be >= 1 (got {max_predictions}); 1 keeps "
+            "only the pure-ATA prediction, the default 24 samples evenly")
     start = time.perf_counter()
+    timer = StageTimer()
+    cache_before = cache_info()
     if initial_mapping is None:
+        timer.start("placement")
         if placement == "noise" and noise is not None:
             # Quality-seeded region, then refined for problem compactness.
             seed_mapping = noise_aware_placement(coupling, problem, noise)
@@ -78,54 +92,75 @@ def compile_qaoa(
             initial_mapping = trivial_placement(coupling, problem)
         else:
             raise ValueError(f"unknown placement {placement!r}")
+        timer.stop()
     if pattern is None and method in ("hybrid", "ata"):
+        timer.start("pattern")
         pattern = get_pattern(coupling)
+        timer.stop()
+
+    def finalize(result: CompiledResult) -> CompiledResult:
+        result.extra["timings"] = timer.timings
+        result.extra["cache"] = cache_delta(cache_before, cache_info())
+        return result
 
     if method == "ata":
+        timer.start("prediction")
         circuit, _ = ata_suffix(
             coupling, pattern, initial_mapping, problem.edges, gamma=gamma,
             use_range_detection=use_range_detection)
-        return CompiledResult(circuit, initial_mapping, "ata",
-                              time.perf_counter() - start)
+        timer.stop()
+        return finalize(CompiledResult(circuit, initial_mapping, "ata",
+                                       time.perf_counter() - start))
 
     if method == "greedy":
+        timer.start("greedy")
         trace = greedy_compile(
             coupling, problem, initial_mapping, noise=noise, gamma=gamma,
             matching=matching, crosstalk_aware=crosstalk_aware,
             record_snapshots=False, unify_swaps=unify_swaps)
-        return CompiledResult(trace.circuit, initial_mapping, "greedy",
-                              time.perf_counter() - start)
+        timer.stop()
+        return finalize(CompiledResult(trace.circuit, initial_mapping,
+                                       "greedy",
+                                       time.perf_counter() - start))
     if method != "hybrid":
         raise ValueError(f"unknown method {method!r}")
 
     # Candidate 0: the pure ATA circuit (Theorem 6.1's cc0).  Its depth
     # also bounds how long the greedy phase may run: a greedy schedule
     # three times deeper than the structured one will never be selected.
+    timer.start("prediction")
     ata_circuit, _ = ata_suffix(
         coupling, pattern, initial_mapping, problem.edges, gamma=gamma,
         use_range_detection=use_range_detection)
+    timer.stop()
     ata_candidate = make_candidate("ata", ata_circuit, noise)
     if greedy_cycle_cap is None:
         greedy_cycle_cap = 3 * ata_candidate.depth + 50
 
+    timer.start("greedy")
     trace = greedy_compile(
         coupling, problem, initial_mapping, noise=noise, gamma=gamma,
         matching=matching, crosstalk_aware=crosstalk_aware,
         record_snapshots=True, max_cycles=greedy_cycle_cap,
         unify_swaps=unify_swaps)
+    timer.stop()
 
     candidates = [ata_candidate]
     if not trace.remaining:
         candidates.append(make_candidate("greedy", trace.circuit, noise))
-    for snapshot in _sample(trace.snapshots, max_predictions):
+    sampled = _sample(trace.snapshots, max_predictions)
+    prediction_times = []
+    for snapshot in sampled:
         if not snapshot.remaining or snapshot.op_count == 0:
             continue  # snapshot 0 duplicates the pure ATA candidate
+        timer.start("prediction")
         prefix = Circuit(coupling.n_qubits,
                          list(trace.circuit.ops[:snapshot.op_count]))
         suffix_circuit, _ = ata_suffix(
             coupling, pattern, snapshot.mapping, snapshot.remaining,
             gamma=gamma, use_range_detection=use_range_detection,
             circuit=prefix)
+        prediction_times.append(timer.stop())
         candidates.append(make_candidate(
             f"hybrid@{snapshot.cycle}", suffix_circuit, noise))
 
@@ -135,20 +170,34 @@ def compile_qaoa(
     else:
         norm_depth = trace.circuit.depth()
         norm_gates = trace.circuit.cx_count(unify=True)
+    timer.start("selection")
     best = score_candidates(candidates, greedy_depth=norm_depth,
                             greedy_gates=norm_gates, alpha=alpha)
+    timer.stop()
     result = CompiledResult(best.circuit, initial_mapping, "hybrid",
                             time.perf_counter() - start)
     result.extra["selected"] = best.label
     result.extra["n_candidates"] = len(candidates)
     result.extra["scores"] = {c.label: c.score for c in candidates}
-    return result
+    result.extra["candidates"] = {
+        "count": len(candidates),
+        "snapshots_total": len(trace.snapshots),
+        "snapshots_sampled": len(sampled),
+        "greedy_finished": not trace.remaining,
+        "greedy_cycles": trace.cycles,
+    }
+    result.extra["prediction_times_s"] = prediction_times
+    return finalize(result)
 
 
 def _sample(snapshots, max_predictions: int):
     """Evenly sample snapshots, always keeping the first (pure ATA)."""
     if len(snapshots) <= max_predictions:
         return snapshots
+    if max_predictions == 1:
+        # A single allowed prediction keeps the pure-ATA endpoint; the
+        # general formula below would divide by zero here.
+        return snapshots[:1]
     step = (len(snapshots) - 1) / (max_predictions - 1)
     indices = sorted({round(i * step) for i in range(max_predictions)})
     return [snapshots[i] for i in indices]

@@ -41,6 +41,36 @@ class CompiledResult:
     def esp(self, noise: NoiseModel) -> float:
         return noise.esp(self.circuit)
 
+    # -- telemetry ---------------------------------------------------------
+
+    @property
+    def stage_timings(self) -> dict:
+        """Per-stage wall-clock seconds recorded by ``compile_qaoa``
+        (``placement``, ``pattern``, ``greedy``, ``prediction``,
+        ``selection``); empty for baselines that don't report stages."""
+        return self.extra.get("timings", {})
+
+    @property
+    def cache_stats(self) -> dict:
+        """Hit/miss deltas of the process-local caches during this
+        compilation, keyed by cache name (``distance_matrix``, ``pattern``,
+        ``pattern_cycles``)."""
+        return self.extra.get("cache", {})
+
+    def to_record(self) -> dict:
+        """Plain-data summary (metrics + telemetry, no circuit) safe to
+        pickle across processes or dump as JSON — the batch engine's
+        per-job payload."""
+        return {
+            "method": self.method,
+            "depth": self.depth(),
+            "cx": self.gate_count,
+            "swaps": self.swap_count,
+            "ops": len(self.circuit),
+            "wall_time_s": self.wall_time_s,
+            "extra": self.extra,
+        }
+
     def validate(self, coupling: CouplingGraph,
                  problem: ProblemGraph) -> ValidationReport:
         return validate_compiled(self.circuit, coupling.edges,

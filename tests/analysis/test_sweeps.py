@@ -58,3 +58,36 @@ class TestRunSweep:
                            seeds=(0,))
         point = single.get("line", "rand-8-0.4", "greedy")
         assert point.n_seeds == 1
+
+
+class TestBatchedSweep:
+    """Method-name strings route the sweep through the batch engine."""
+
+    def test_string_compilers_produce_points(self):
+        sweep = run_sweep(["line", "grid"], [("rand", 8, 0.4)],
+                          {"greedy": "greedy", "ata": "ata"}, seeds=(0, 1))
+        assert len(sweep.points) == 4
+        assert sweep.compilers() == ["greedy", "ata"]
+        point = sweep.get("line", "rand-8-0.4", "greedy")
+        assert point.depth > 0
+        assert point.n_seeds == 2
+
+    def test_matches_legacy_callable_results(self):
+        legacy = run_sweep(["grid"], [("rand", 8, 0.4)], COMPILERS,
+                           seeds=(0, 1))
+        batched = run_sweep(["grid"], [("rand", 8, 0.4)],
+                            {"greedy": "greedy", "ata": "ata"}, seeds=(0, 1))
+        for compiler in ("greedy", "ata"):
+            old = legacy.get("grid", "rand-8-0.4", compiler)
+            new = batched.get("grid", "rand-8-0.4", compiler)
+            assert new.depth == old.depth
+            assert new.cx == old.cx
+
+    def test_failed_cell_raises_with_job_name(self):
+        with pytest.raises(RuntimeError, match="mumbai"):
+            run_sweep(["mumbai"], [("rand", 100, 0.3)],
+                      {"greedy": "greedy"})
+
+    def test_workers_with_callables_rejected(self):
+        with pytest.raises(ValueError, match="picklable"):
+            run_sweep(["line"], [("rand", 8, 0.4)], COMPILERS, workers=4)

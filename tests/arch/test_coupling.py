@@ -75,3 +75,42 @@ def test_to_networkx_roundtrip(square):
     g = square.to_networkx()
     assert g.number_of_nodes() == 4
     assert g.number_of_edges() == 4
+
+
+class TestDistanceMatrixCache:
+    def test_identical_graphs_share_one_matrix(self):
+        from repro.arch import grid
+        from repro.arch.coupling import (clear_distance_cache,
+                                         distance_cache_info)
+        clear_distance_cache()
+        first = grid(3, 3).distance_matrix
+        second = grid(3, 3).distance_matrix
+        assert second is first  # memoized process-wide, not recomputed
+        info = distance_cache_info()
+        assert info == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_different_structures_get_distinct_entries(self):
+        from repro.arch import grid, line
+        from repro.arch.coupling import (clear_distance_cache,
+                                         distance_cache_info)
+        clear_distance_cache()
+        grid(3, 3).distance_matrix
+        line(9).distance_matrix
+        assert distance_cache_info()["misses"] == 2
+
+    def test_cached_matrix_is_read_only(self):
+        from repro.arch import grid
+        import pytest
+        matrix = grid(3, 3).distance_matrix
+        with pytest.raises(ValueError):
+            matrix[0, 1] = 99
+
+    def test_instance_caches_after_first_lookup(self):
+        from repro.arch import grid
+        from repro.arch.coupling import (clear_distance_cache,
+                                         distance_cache_info)
+        clear_distance_cache()
+        coupling = grid(3, 3)
+        coupling.distance_matrix
+        coupling.distance_matrix  # second access stays instance-local
+        assert distance_cache_info() == {"hits": 0, "misses": 1, "size": 1}

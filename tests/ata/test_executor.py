@@ -6,7 +6,7 @@ from repro.arch import grid, heavyhex, line
 from repro.ata import (LinePattern, compile_with_pattern, execute_pattern,
                        get_pattern, greedy_completion)
 from repro.ir.circuit import Circuit
-from repro.ir.gates import CPHASE
+from repro.ir.gates import CPHASE, SWAP
 from repro.ir.mapping import Mapping
 from repro.ir.validate import validate_compiled
 from repro.problems import clique, random_problem_graph
@@ -90,6 +90,48 @@ class TestGreedyCompletion:
         greedy_completion(coupling, circuit, mapping, {(0, 1)})
         assert circuit.swap_count == 0
         assert circuit.cphase_count == 1
+
+    def test_residual_pairs_sharing_a_qubit(self):
+        # Routing (0, 2) moves qubit 2's occupant; (2, 4) must then be
+        # routed from the *mutated* mapping, not the initial one.
+        coupling = line(5)
+        circuit = Circuit(5)
+        mapping = Mapping.trivial(5)
+        residual = {(0, 2), (2, 4)}
+        greedy_completion(coupling, circuit, mapping, residual)
+        assert not residual
+        assert circuit.cphase_count == 2
+        validate_compiled(circuit, coupling.edges, Mapping.trivial(5),
+                          [(0, 2), (2, 4)])
+
+    def test_mixed_adjacent_and_distant_pairs(self):
+        coupling = line(5)
+        circuit = Circuit(5)
+        mapping = Mapping.trivial(5)
+        residual = {(0, 1), (1, 4)}
+        greedy_completion(coupling, circuit, mapping, residual)
+        assert not residual
+        validate_compiled(circuit, coupling.edges, Mapping.trivial(5),
+                          [(0, 1), (1, 4)])
+
+    def test_residual_set_is_cleared(self):
+        coupling = grid(3, 3)
+        residual = {(0, 8), (2, 6)}
+        greedy_completion(coupling, Circuit(9), Mapping.trivial(9), residual)
+        assert residual == set()
+
+    def test_mapping_mutated_consistently_with_emitted_swaps(self):
+        # The in-place mapping must equal the initial mapping pushed
+        # through every SWAP the completion emitted.
+        coupling = grid(3, 3)
+        circuit = Circuit(9)
+        mapping = Mapping.trivial(9)
+        greedy_completion(coupling, circuit, mapping, {(0, 8), (1, 5)})
+        replayed = Mapping.trivial(9)
+        for op in circuit:
+            if op.kind == SWAP:
+                replayed.swap_physical(*op.qubits)
+        assert replayed == mapping
 
 
 class TestSparseRandomGraphs:

@@ -1,0 +1,137 @@
+"""Tests for ``compile_many``: fan-out, caching, timeouts, failure capture."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.batch import (BatchJob, compile_many, default_workers,
+                         execute_job, jobs_for)
+from repro.batch.cache import clear_caches
+
+
+def mixed_jobs(n_qubits=12, seeds=(0, 1)):
+    """16 mixed jobs: 4 architectures x 2 methods x 2 seeds."""
+    return [
+        BatchJob(arch=arch, n_qubits=n_qubits, density=0.3, seed=seed,
+                 method=method)
+        for arch in ("line", "grid", "heavyhex", "sycamore")
+        for method in ("hybrid", "greedy")
+        for seed in seeds
+    ]
+
+
+class TestSerialEngine:
+    def test_all_jobs_succeed_in_order(self):
+        jobs = mixed_jobs()
+        report = compile_many(jobs, executor="serial")
+        assert len(report.results) == 16
+        assert [r.job for r in report.results] == jobs
+        assert not report.failures
+        for result in report.results:
+            assert result.record["depth"] > 0
+            assert result.record["cx"] > 0
+
+    def test_cache_counters_prove_reuse(self):
+        clear_caches()
+        report = compile_many(mixed_jobs(), executor="serial")
+        totals = report.cache_totals()
+        # 4 architectures appear 4x each: first build misses, rest hit.
+        assert totals["distance_matrix"]["misses"] == 4
+        assert totals["distance_matrix"]["hits"] == 12
+        assert totals["pattern"]["hits"] > 0
+
+    def test_failing_job_is_captured_not_fatal(self):
+        jobs = mixed_jobs()[:3] + [BatchJob(arch="mumbai", n_qubits=100)]
+        report = compile_many(jobs, executor="serial")
+        assert len(report.ok) == 3
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.error_type == "ArchitectureError"
+        assert "mumbai" in failure.error
+
+    def test_stage_totals_aggregate_timings(self):
+        report = compile_many(mixed_jobs()[:4], executor="serial")
+        totals = report.stage_totals()
+        assert "greedy" in totals
+        assert totals["greedy"] >= 0.0
+
+    def test_report_json_round_trips(self):
+        jobs = mixed_jobs()[:2] + [BatchJob(arch="mumbai", n_qubits=100)]
+        report = compile_many(jobs, executor="serial")
+        payload = json.loads(json.dumps(report.to_json()))
+        assert len(payload["jobs"]) == 3
+        assert payload["jobs"][2]["ok"] is False
+        assert "cache_totals" in payload
+
+
+class TestProcessPool:
+    def test_matches_serial_results(self):
+        jobs = mixed_jobs()
+        serial = compile_many(jobs, executor="serial")
+        parallel = compile_many(jobs, workers=4, executor="process")
+        assert not parallel.failures
+        for s, p in zip(serial.results, parallel.results):
+            assert s.job == p.job
+            assert s.record["depth"] == p.record["depth"]
+            assert s.record["cx"] == p.record["cx"]
+
+    def test_failure_captured_across_processes(self):
+        jobs = mixed_jobs()[:4] + [BatchJob(arch="mumbai", n_qubits=100)]
+        report = compile_many(jobs, workers=2, executor="process")
+        assert len(report.ok) == 4
+        assert report.failures[0].error_type == "ArchitectureError"
+
+    @pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                        reason="speedup needs >= 4 CPU cores")
+    def test_four_workers_at_least_twice_as_fast(self):
+        # The ISSUE 1 acceptance criterion: >= 16 mixed instances, 4
+        # workers, >= 2x wall-clock over the serial loop.
+        jobs = mixed_jobs(n_qubits=32, seeds=(0, 1))
+        clear_caches()
+        t0 = time.perf_counter()
+        compile_many(jobs, executor="serial")
+        serial_s = time.perf_counter() - t0
+        clear_caches()
+        t0 = time.perf_counter()
+        report = compile_many(jobs, workers=4, executor="process")
+        parallel_s = time.perf_counter() - t0
+        assert not report.failures
+        assert serial_s / parallel_s >= 2.0
+
+
+class TestTimeout:
+    def test_timeout_surfaces_as_job_failure(self):
+        if not hasattr(__import__("signal"), "SIGALRM"):
+            pytest.skip("needs SIGALRM")
+        # A 48-qubit hybrid compile takes far longer than 1 ms.
+        job = BatchJob(arch="heavyhex", n_qubits=48, density=0.5)
+        result = execute_job(job, timeout_s=0.001)
+        assert not result.ok
+        assert result.error_type == "JobTimeout"
+
+    def test_generous_timeout_does_not_fire(self):
+        job = BatchJob(arch="line", n_qubits=6)
+        result = execute_job(job, timeout_s=60.0)
+        assert result.ok
+
+
+class TestHelpers:
+    def test_jobs_for_cartesian_product(self):
+        jobs = jobs_for(["grid", "line"], 9, methods=("hybrid", "ata"),
+                        seeds=(0, 1, 2))
+        assert len(jobs) == 2 * 2 * 3
+        assert len({job.name for job in jobs}) == len(jobs)
+
+    def test_default_workers_bounded(self):
+        assert default_workers(0) == 1
+        assert 1 <= default_workers(100) <= (os.cpu_count() or 1)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            compile_many([], executor="gpu")
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            compile_many([BatchJob(arch="line", n_qubits=4)], workers=-1)

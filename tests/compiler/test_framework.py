@@ -129,6 +129,80 @@ class TestOptions:
         assert result.extra["n_candidates"] >= 2
 
 
+class TestPredictionSampling:
+    def test_max_predictions_one_compiles(self):
+        # Regression: used to ZeroDivisionError in _sample whenever more
+        # than one snapshot existed (ISSUE 1 satellite).
+        coupling = grid(4, 4)
+        problem = random_problem_graph(14, 0.35, seed=3)
+        result = compile_and_check(coupling, problem, method="hybrid",
+                                   max_predictions=1)
+        assert result.extra["candidates"]["snapshots_sampled"] == 1
+
+    def test_max_predictions_zero_rejected(self):
+        with pytest.raises(ValueError, match="max_predictions"):
+            compile_qaoa(grid(3, 3), clique(4), max_predictions=0)
+
+    def test_max_predictions_negative_rejected(self):
+        with pytest.raises(ValueError, match="max_predictions"):
+            compile_qaoa(grid(3, 3), clique(4), max_predictions=-3)
+
+    def test_sample_keeps_first_snapshot(self):
+        from repro.compiler.framework import _sample
+        snapshots = list(range(10))
+        assert _sample(snapshots, 1) == [0]
+        assert _sample(snapshots, 3)[0] == 0
+        assert _sample(snapshots, 99) == snapshots
+
+
+class TestTelemetry:
+    def test_hybrid_records_stage_timings(self):
+        result = compile_and_check(grid(4, 4),
+                                   random_problem_graph(12, 0.3, seed=1))
+        timings = result.stage_timings
+        for stage in ("placement", "pattern", "greedy", "prediction",
+                      "selection"):
+            assert stage in timings
+            assert timings[stage] >= 0.0
+
+    @pytest.mark.parametrize("method", ["greedy", "ata"])
+    def test_other_methods_record_timings(self, method):
+        result = compile_and_check(grid(4, 4),
+                                   random_problem_graph(12, 0.3, seed=1),
+                                   method=method)
+        assert "placement" in result.stage_timings
+
+    def test_cache_delta_recorded(self):
+        from repro.batch.cache import clear_caches
+        clear_caches()
+        coupling = grid(4, 4)
+        problem = random_problem_graph(12, 0.3, seed=1)
+        cold = compile_and_check(coupling, problem)
+        assert cold.cache_stats["pattern"]["misses"] == 1
+        # A fresh but identical coupling hits both process-local caches.
+        warm = compile_and_check(grid(4, 4), problem)
+        assert warm.cache_stats["pattern"]["hits"] == 1
+        assert warm.cache_stats["distance_matrix"]["hits"] >= 1
+
+    def test_candidate_pool_stats(self):
+        result = compile_and_check(grid(4, 4),
+                                   random_problem_graph(14, 0.35, seed=2))
+        stats = result.extra["candidates"]
+        assert stats["count"] == result.extra["n_candidates"]
+        assert stats["snapshots_sampled"] <= stats["snapshots_total"]
+        assert stats["greedy_cycles"] >= 1
+        assert len(result.extra["prediction_times_s"]) <= \
+            stats["snapshots_sampled"]
+
+    def test_to_record_is_plain_data(self):
+        import json
+        result = compile_and_check(grid(3, 3),
+                                   random_problem_graph(9, 0.4, seed=0))
+        record = result.to_record()
+        assert record["depth"] == result.depth()
+        json.dumps(record)  # must be JSON-serializable
+
+
 class TestHamiltonianInputs:
     def test_ising_on_heavyhex(self):
         from repro.problems import nnn_ising_1d

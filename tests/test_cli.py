@@ -41,6 +41,74 @@ class TestCompile:
         assert "OPENQASM 2.0;" in text
 
 
+class TestInputValidation:
+    @pytest.mark.parametrize("density", ["1.5", "-0.1", "nan"])
+    def test_bad_density_rejected_with_message(self, capsys, density):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compile", "--density", density])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "density" in err
+
+    def test_zero_qubits_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compile", "--qubits", "0"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--qubits", "-4"])
+
+    def test_non_numeric_qubits_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compile", "--qubits", "many"])
+        assert "integer" in capsys.readouterr().err
+
+    def test_batch_unknown_arch_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["batch", "--arch", "grid,torus"])
+        assert "torus" in capsys.readouterr().err
+
+    def test_batch_zero_timeout_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--timeout", "0"])
+
+
+class TestBatch:
+    def test_serial_batch_runs(self, capsys):
+        code, out = run_cli(capsys, ["batch", "--arch", "grid,line",
+                                     "--qubits", "8", "--count", "2",
+                                     "--method", "hybrid,greedy",
+                                     "--serial"])
+        assert code == 0
+        assert "8/8 jobs ok" in out
+        assert "cache distance_matrix" in out
+
+    def test_batch_json_report(self, capsys, tmp_path):
+        target = tmp_path / "report.json"
+        code, out = run_cli(capsys, ["batch", "--arch", "grid",
+                                     "--qubits", "8", "--count", "2",
+                                     "--serial", "--json", str(target)])
+        assert code == 0
+        import json
+        payload = json.loads(target.read_text())
+        assert len(payload["jobs"]) == 2
+        assert all(job["ok"] for job in payload["jobs"])
+
+    def test_batch_bad_method_exits_2(self, capsys):
+        code = main(["batch", "--method", "magic", "--serial"])
+        assert code == 2
+        assert "magic" in capsys.readouterr().err
+
+    def test_telemetry_flag_prints_stages(self, capsys):
+        code, out = run_cli(capsys, ["compile", "--arch", "grid",
+                                     "--qubits", "9", "--telemetry"])
+        assert code == 0
+        assert "stage" in out
+        assert "cache" in out
+
+
 class TestOtherCommands:
     def test_compare(self, capsys):
         code, out = run_cli(capsys, ["compare", "--arch", "grid",
