@@ -7,6 +7,11 @@ Public API highlights
 ---------------------
 
 * :func:`repro.compile_qaoa` — the paper's hybrid compiler (greedy + ATA).
+* :mod:`repro.pipeline` — the composable pass-pipeline core behind it:
+  ``CompilationContext`` threaded through ``Pass`` objects run by a
+  ``Pipeline``, plus the single method registry
+  (:func:`repro.available_methods`) that names every compiler — paper
+  methods and baselines alike.
 * :func:`repro.compile_many` / :mod:`repro.batch` — batch compilation over
   a process pool with shared caches, per-job timeouts and telemetry.
 * :mod:`repro.arch` — line / grid / Sycamore / hexagon / heavy-hex coupling
@@ -46,9 +51,38 @@ def compile_many(*args, **kwargs):
     return _many(*args, **kwargs)
 
 
+def available_methods():
+    """Names of every registered compiler method (paper + baselines).
+
+    See :mod:`repro.pipeline.registry`; adding a method there makes it
+    resolvable here, in ``compile_qaoa(method=...)``, in the batch
+    engine, in sweeps, and on the CLI at once.
+    """
+    from .pipeline.registry import available_methods as _methods
+
+    return _methods()
+
+
+_LAZY_PIPELINE_EXPORTS = (
+    "CompilationContext", "Pass", "Pipeline", "MethodSpec",
+    "register_method", "get_method", "build_pipeline",
+)
+
+
+def __getattr__(name):
+    """Lazy re-exports of the pipeline core (PEP 562)."""
+    if name in _LAZY_PIPELINE_EXPORTS:
+        from . import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "compile_qaoa",
     "compile_many",
+    "available_methods",
+    *_LAZY_PIPELINE_EXPORTS,
     "Circuit",
     "Mapping",
     "Op",

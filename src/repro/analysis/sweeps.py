@@ -4,11 +4,13 @@ A *sweep* compiles a grid of (architecture, workload, compiler) points and
 collects the paper's metrics, optionally averaging over random seeds.
 
 Compilers may be given either as callables (legacy, runs in-process) or as
-method-name strings understood by :mod:`repro.batch` (``"hybrid"``,
-``"greedy"``, ``"ata"``, baseline names) — the string form routes every
-cell through the batch engine, which memoizes distance matrices and ATA
-patterns across cells and, with ``workers > 1``, fans the sweep out over a
-process pool.
+method-name strings resolved through the single method registry
+(:mod:`repro.pipeline.registry` — ``"hybrid"``, ``"greedy"``, ``"ata"``,
+or any registered baseline).  The string form routes every cell through
+the batch engine, which memoizes distance matrices and ATA patterns
+across cells and, with ``workers > 1``, fans the sweep out over a process
+pool.  This module keeps no method table of its own: registering a new
+compiler makes it sweepable by name immediately.
 """
 
 from __future__ import annotations

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, List, Tuple
 
-from ..arch.cube import cube_node, plane_snake
+from ..arch.cube import plane_snake
 from .paired_units import _UnitTranspositionPattern
 
 

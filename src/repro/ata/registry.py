@@ -18,7 +18,7 @@ from ..arch.coupling import CouplingGraph
 from ..exceptions import ArchitectureError
 from .base import AtaPattern
 from .cube_pattern import CubePattern
-from .grid_pattern import GridCliquePattern, OptimizedGridPattern
+from .grid_pattern import OptimizedGridPattern
 from .heavyhex_pattern import HeavyHexPattern
 from .line_pattern import LinePattern
 from .paired_units import HexagonPattern, SycamorePattern

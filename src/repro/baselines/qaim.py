@@ -15,7 +15,7 @@ traits relative to the other systems:
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from ..arch.coupling import CouplingGraph
 from ..compiler.mapping import degree_placement

@@ -16,7 +16,7 @@ of the paper's win comes from commutativity alone vs from regularity.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..arch.coupling import CouplingGraph
 from ..compiler.mapping import degree_placement

@@ -30,7 +30,7 @@ import signal
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .._telemetry import cache_delta, cache_info
@@ -76,9 +76,12 @@ def execute_job(job: BatchJob, timeout_s: Optional[float] = None) -> JobResult:
     """Run one job to a :class:`JobResult`; never raises.
 
     This is the module-level worker entry point (must stay picklable for
-    ``ProcessPoolExecutor``).  The per-job cache delta is measured around
-    the whole job — including coupling/problem construction — so baseline
-    methods without compiler telemetry still report cache reuse.
+    ``ProcessPoolExecutor``).  The compiler is resolved by name through
+    the single method registry (:mod:`repro.pipeline.registry`), so any
+    registered method — paper preset or baseline — batch-compiles without
+    engine changes.  The per-job cache delta is measured around the whole
+    job — including coupling/problem construction — so methods whose
+    passes touch no cache still report cache reuse.
     """
     start = time.perf_counter()
     before = cache_info()

@@ -14,43 +14,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Tuple
 
+from ..pipeline.registry import available_methods, get_method
+
 WORKLOADS = ("rand", "reg", "clique")
 
-#: Compiler methods the engine can name.  ``hybrid``/``greedy``/``ata``
-#: run :func:`repro.compile_qaoa`; the rest are the baseline reimplementations
-#: (resolved lazily so importing :mod:`repro.batch` stays light).
-METHODS = ("hybrid", "greedy", "ata", "qaim", "paulihedral", "2qan",
-           "olsq", "satmap", "sabre")
+#: Compiler methods the engine can name — everything in the single
+#: method registry (:mod:`repro.pipeline.registry`): the three paper
+#: methods plus every registered baseline.  The registry resolves names
+#: lazily, so importing :mod:`repro.batch` stays light.
+METHODS = available_methods()
 
 
 def resolve_compiler(method: str) -> Callable:
     """``method`` name -> ``fn(coupling, problem, noise, gamma, **options)``.
 
-    Raises ``ValueError`` for unknown names, listing the valid ones.
+    Thin alias for the method registry's
+    :meth:`~repro.pipeline.registry.MethodSpec.compile`; raises
+    ``ValueError`` for unknown names, listing the registered ones.
     """
-    if method in ("hybrid", "greedy", "ata"):
-        from ..compiler import compile_qaoa
-
-        def run(coupling, problem, noise=None, gamma=0.0, **options):
-            return compile_qaoa(coupling, problem, method=method,
-                                noise=noise, gamma=gamma, **options)
-        return run
-    if method in ("qaim", "paulihedral", "2qan", "olsq", "satmap", "sabre"):
-        from .. import baselines
-        fn = {
-            "qaim": baselines.compile_qaim,
-            "paulihedral": baselines.compile_paulihedral,
-            "2qan": baselines.compile_twoqan,
-            "olsq": baselines.compile_olsq,
-            "satmap": baselines.compile_satmap,
-            "sabre": baselines.compile_sabre,
-        }[method]
-
-        def run(coupling, problem, noise=None, gamma=0.0, **options):
-            return fn(coupling, problem, **options)
-        return run
-    raise ValueError(
-        f"unknown compiler method {method!r}; expected one of {METHODS}")
+    return get_method(method).compile
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,7 @@ from .analysis import format_table, result_metrics
 from .arch import NoiseModel, architecture_for
 from .compiler import compile_qaoa
 from .ir.qasm import to_qasm
+from .pipeline.registry import available_methods, get_method
 from .problems import clique, random_problem_graph
 
 _ARCH_CHOICES = ["line", "grid", "sycamore", "hexagon", "heavyhex",
@@ -91,8 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p = sub.add_parser("compile", help="compile one instance")
     add_common(compile_p)
     compile_p.add_argument("--density", type=_density, default=0.3)
-    compile_p.add_argument("--method", default="hybrid",
-                           choices=["hybrid", "greedy", "ata"])
+    compile_p.add_argument("--method", default="hybrid", metavar="METHOD",
+                           help="any registered compiler method: "
+                                f"{', '.join(available_methods())}")
     compile_p.add_argument("--gamma", type=float, default=0.0)
     compile_p.add_argument("--noise", action="store_true",
                            help="use a synthetic noise calibration")
@@ -120,8 +122,8 @@ def build_parser() -> argparse.ArgumentParser:
     batch_p.add_argument("--workload", default="rand",
                          choices=["rand", "reg", "clique"])
     batch_p.add_argument("--method", default="hybrid",
-                         help="comma-separated compiler methods "
-                              "(hybrid, greedy, ata, or a baseline name)")
+                         help="comma-separated compiler methods; any of: "
+                              f"{', '.join(available_methods())}")
     batch_p.add_argument("--workers", type=_positive_int, default=None,
                          help="pool size (default: min(jobs, CPU count))")
     batch_p.add_argument("--timeout", type=_positive_float, default=None,
@@ -142,7 +144,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _unknown_method_error(method: str) -> int:
+    """Exit-2 path for a method name the registry does not know."""
+    print(f"error: unknown method {method!r}; registered methods: "
+          f"{', '.join(available_methods())}", file=sys.stderr)
+    return 2
+
+
 def _cmd_compile(args) -> int:
+    try:
+        get_method(args.method)
+    except ValueError:
+        return _unknown_method_error(args.method)
     problem = random_problem_graph(args.qubits, args.density, seed=args.seed)
     coupling = architecture_for(args.arch, args.qubits)
     noise = NoiseModel(coupling, seed=args.seed) if args.noise else None
@@ -157,6 +170,10 @@ def _cmd_compile(args) -> int:
         print(f"{key:>8}: {value:.4g}" if isinstance(value, float)
               else f"{key:>8}: {value}")
     if args.telemetry:
+        for record in result.extra.get("passes", []):
+            status = " (skipped)" if record.get("skipped") else ""
+            print(f"pass {record['name']:>11}: "
+                  f"{record['wall_s']:.4f}s{status}")
         for stage, seconds in result.stage_timings.items():
             print(f"stage {stage:>10}: {seconds:.4f}s")
         for cache, delta in result.cache_stats.items():

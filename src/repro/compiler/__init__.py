@@ -1,4 +1,10 @@
-"""The hybrid compiler — Sections 5 and 6 (Fig 18)."""
+"""The hybrid compiler — Sections 5 and 6 (Fig 18).
+
+The algorithmic components live here (greedy engine, ATA prediction,
+selector, placements); the staged workflow that composes them is the
+pass pipeline in :mod:`repro.pipeline`, and :func:`compile_qaoa` is the
+thin facade over its method registry.
+"""
 
 from .framework import compile_qaoa
 from .greedy import GreedyTrace, Snapshot, greedy_compile

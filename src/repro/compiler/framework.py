@@ -1,6 +1,10 @@
 """The full compiler workflow — Section 6.1 / Fig 18.
 
-``compile_qaoa`` is the package's headline entry point.  Methods:
+``compile_qaoa`` is the package's headline entry point.  It is a thin
+facade over the pass pipeline in :mod:`repro.pipeline`: the method name
+is resolved through the single method registry
+(:mod:`repro.pipeline.registry`) to a preset pipeline — or to a wrapped
+baseline — and the context is threaded through the passes.  Methods:
 
 * ``"hybrid"`` (default) — greedy processing with snapshots at every
   mapping change, ATA-suffix candidates spliced at sampled snapshots, and
@@ -8,6 +12,9 @@
 * ``"greedy"`` — the pure greedy engine (the "greedy" bars of Fig 17).
 * ``"ata"`` — rigid pattern following from the initial mapping (the
   "solver"-guided bars of Fig 17).
+* any registered baseline name (``"sabre"``, ``"qaim"``, ``"2qan"``,
+  ``"paulihedral"``, ``"olsq"``, ``"satmap"``) — the Section 7.1
+  reference compilers, run through the same telemetry envelope.
 
 The paper predicts after *every* mapping change; evaluating a full ATA
 suffix per snapshot is O(n) each, so we score an evenly-spaced sample
@@ -16,31 +23,21 @@ pure-greedy endpoints).  This preserves the guarantee and, in practice,
 the paper's "better than the best of the two" behaviour.
 
 Every result carries structured telemetry in ``CompiledResult.extra``:
-per-stage wall-clock timings, the hit/miss deltas of the process-local
-distance-matrix/pattern caches, and candidate-pool statistics.  The batch
-engine (:mod:`repro.batch`) aggregates these across jobs; see
-``docs/batch.md`` for the field-by-field reference.
+per-pass records (``extra["passes"]``), per-stage wall-clock timings,
+the hit/miss deltas of the process-local distance-matrix/pattern caches,
+and candidate-pool statistics.  The batch engine (:mod:`repro.batch`)
+aggregates these across jobs; see ``docs/batch.md`` for the
+field-by-field reference and ``docs/compiler.md`` for the pass table.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
-from .._telemetry import StageTimer, cache_delta, cache_info
 from ..arch.coupling import CouplingGraph
 from ..arch.noise import NoiseModel
-from ..ata.base import AtaPattern
-from ..ata.registry import get_pattern
-from ..ir.circuit import Circuit
-from ..ir.mapping import Mapping
 from ..problems.graphs import ProblemGraph
-from .greedy import greedy_compile
-from .mapping import (degree_placement, noise_aware_placement,
-                      quadratic_placement, trivial_placement)
-from .prediction import ata_suffix
 from .result import CompiledResult
-from .selector import make_candidate, score_candidates
 
 
 def compile_qaoa(
@@ -49,155 +46,35 @@ def compile_qaoa(
     method: str = "hybrid",
     noise: Optional[NoiseModel] = None,
     gamma: float = 0.0,
-    initial_mapping: Optional[Mapping] = None,
-    placement: str = "quadratic",
-    alpha: float = 0.5,
-    max_predictions: int = 24,
-    matching: str = "greedy",
-    crosstalk_aware: bool = True,
-    use_range_detection: bool = True,
-    pattern: Optional[AtaPattern] = None,
-    greedy_cycle_cap: Optional[int] = None,
-    unify_swaps: bool = True,
+    **options,
 ) -> CompiledResult:
     """Compile a program with permutable two-qubit operators.
 
-    Parameters mirror the framework of Fig 18; see module docstring for the
-    ``method`` choices.  The returned circuit is validated in tests against
-    the semantic validator for every method.
+    ``method`` is resolved through the single method registry
+    (:func:`repro.pipeline.registry.get_method`); an unknown name raises
+    ``ValueError`` listing every registered method.  ``options`` are the
+    method's knobs — for the paper methods: ``initial_mapping``,
+    ``placement`` (``"quadratic"`` default, ``"degree"``, ``"trivial"``,
+    ``"noise"``), ``alpha``, ``max_predictions``, ``matching``,
+    ``crosstalk_aware``, ``use_range_detection``, ``pattern``,
+    ``greedy_cycle_cap`` and ``unify_swaps``; for baselines, the keyword
+    arguments of the underlying ``repro.baselines.compile_*`` function.
+    Pass ``on_pass_end=callback`` to observe each pipeline pass as it
+    finishes.
+
+    The returned circuit is validated in tests against the semantic
+    validator for every method.
     """
-    if problem.n_vertices > coupling.n_qubits:
-        raise ValueError(
-            f"problem has {problem.n_vertices} qubits but {coupling.name} "
-            f"has only {coupling.n_qubits}")
-    if max_predictions < 1:
-        raise ValueError(
-            f"max_predictions must be >= 1 (got {max_predictions}); 1 keeps "
-            "only the pure-ATA prediction, the default 24 samples evenly")
-    start = time.perf_counter()
-    timer = StageTimer()
-    cache_before = cache_info()
-    if initial_mapping is None:
-        timer.start("placement")
-        if placement == "noise" and noise is not None:
-            # Quality-seeded region, then refined for problem compactness.
-            seed_mapping = noise_aware_placement(coupling, problem, noise)
-            initial_mapping = quadratic_placement(coupling, problem,
-                                                  initial=seed_mapping)
-        elif placement in ("quadratic", "noise"):
-            initial_mapping = quadratic_placement(coupling, problem)
-        elif placement == "degree":
-            initial_mapping = degree_placement(coupling, problem)
-        elif placement == "trivial":
-            initial_mapping = trivial_placement(coupling, problem)
-        else:
-            raise ValueError(f"unknown placement {placement!r}")
-        timer.stop()
-    if pattern is None and method in ("hybrid", "ata"):
-        timer.start("pattern")
-        pattern = get_pattern(coupling)
-        timer.stop()
+    from ..pipeline.registry import get_method
 
-    def finalize(result: CompiledResult) -> CompiledResult:
-        result.extra["timings"] = timer.timings
-        result.extra["cache"] = cache_delta(cache_before, cache_info())
-        return result
-
-    if method == "ata":
-        timer.start("prediction")
-        circuit, _ = ata_suffix(
-            coupling, pattern, initial_mapping, problem.edges, gamma=gamma,
-            use_range_detection=use_range_detection)
-        timer.stop()
-        return finalize(CompiledResult(circuit, initial_mapping, "ata",
-                                       time.perf_counter() - start))
-
-    if method == "greedy":
-        timer.start("greedy")
-        trace = greedy_compile(
-            coupling, problem, initial_mapping, noise=noise, gamma=gamma,
-            matching=matching, crosstalk_aware=crosstalk_aware,
-            record_snapshots=False, unify_swaps=unify_swaps)
-        timer.stop()
-        return finalize(CompiledResult(trace.circuit, initial_mapping,
-                                       "greedy",
-                                       time.perf_counter() - start))
-    if method != "hybrid":
-        raise ValueError(f"unknown method {method!r}")
-
-    # Candidate 0: the pure ATA circuit (Theorem 6.1's cc0).  Its depth
-    # also bounds how long the greedy phase may run: a greedy schedule
-    # three times deeper than the structured one will never be selected.
-    timer.start("prediction")
-    ata_circuit, _ = ata_suffix(
-        coupling, pattern, initial_mapping, problem.edges, gamma=gamma,
-        use_range_detection=use_range_detection)
-    timer.stop()
-    ata_candidate = make_candidate("ata", ata_circuit, noise)
-    if greedy_cycle_cap is None:
-        greedy_cycle_cap = 3 * ata_candidate.depth + 50
-
-    timer.start("greedy")
-    trace = greedy_compile(
-        coupling, problem, initial_mapping, noise=noise, gamma=gamma,
-        matching=matching, crosstalk_aware=crosstalk_aware,
-        record_snapshots=True, max_cycles=greedy_cycle_cap,
-        unify_swaps=unify_swaps)
-    timer.stop()
-
-    candidates = [ata_candidate]
-    if not trace.remaining:
-        candidates.append(make_candidate("greedy", trace.circuit, noise))
-    sampled = _sample(trace.snapshots, max_predictions)
-    prediction_times = []
-    for snapshot in sampled:
-        if not snapshot.remaining or snapshot.op_count == 0:
-            continue  # snapshot 0 duplicates the pure ATA candidate
-        timer.start("prediction")
-        prefix = Circuit(coupling.n_qubits,
-                         list(trace.circuit.ops[:snapshot.op_count]))
-        suffix_circuit, _ = ata_suffix(
-            coupling, pattern, snapshot.mapping, snapshot.remaining,
-            gamma=gamma, use_range_detection=use_range_detection,
-            circuit=prefix)
-        prediction_times.append(timer.stop())
-        candidates.append(make_candidate(
-            f"hybrid@{snapshot.cycle}", suffix_circuit, noise))
-
-    if trace.remaining:
-        norm_depth = ata_candidate.depth
-        norm_gates = ata_candidate.gate_count
-    else:
-        norm_depth = trace.circuit.depth()
-        norm_gates = trace.circuit.cx_count(unify=True)
-    timer.start("selection")
-    best = score_candidates(candidates, greedy_depth=norm_depth,
-                            greedy_gates=norm_gates, alpha=alpha)
-    timer.stop()
-    result = CompiledResult(best.circuit, initial_mapping, "hybrid",
-                            time.perf_counter() - start)
-    result.extra["selected"] = best.label
-    result.extra["n_candidates"] = len(candidates)
-    result.extra["scores"] = {c.label: c.score for c in candidates}
-    result.extra["candidates"] = {
-        "count": len(candidates),
-        "snapshots_total": len(trace.snapshots),
-        "snapshots_sampled": len(sampled),
-        "greedy_finished": not trace.remaining,
-        "greedy_cycles": trace.cycles,
-    }
-    result.extra["prediction_times_s"] = prediction_times
-    return finalize(result)
+    on_pass_end = options.pop("on_pass_end", None)
+    return get_method(method).compile(coupling, problem, noise=noise,
+                                      gamma=gamma, on_pass_end=on_pass_end,
+                                      **options)
 
 
 def _sample(snapshots, max_predictions: int):
-    """Evenly sample snapshots, always keeping the first (pure ATA)."""
-    if len(snapshots) <= max_predictions:
-        return snapshots
-    if max_predictions == 1:
-        # A single allowed prediction keeps the pure-ATA endpoint; the
-        # general formula below would divide by zero here.
-        return snapshots[:1]
-    step = (len(snapshots) - 1) / (max_predictions - 1)
-    indices = sorted({round(i * step) for i in range(max_predictions)})
-    return [snapshots[i] for i in indices]
+    """Back-compat alias for :func:`repro.pipeline.prediction.sample_snapshots`."""
+    from ..pipeline.prediction import sample_snapshots
+
+    return sample_snapshots(snapshots, max_predictions)

@@ -12,9 +12,9 @@ Post-decomposition metrics (CX count / CX depth) live in
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence
 
-from .gates import CPHASE, CX, SWAP, Op
+from .gates import CPHASE, SWAP, Op
 
 
 class Circuit:

@@ -27,7 +27,7 @@ a dense two-qubit simulator):
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from .circuit import Circuit
 from .gates import CPHASE, CX, SWAP, Op, canonical_edge

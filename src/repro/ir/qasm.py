@@ -11,7 +11,7 @@ simulators) for cross-validation.  The abstract gate set maps onto the
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 from .circuit import Circuit
 from .gates import CPHASE, CX, H, PHASE, RX, RZ, SWAP

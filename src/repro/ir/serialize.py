@@ -8,7 +8,7 @@ The format is a versioned plain-JSON document.
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
+from typing import Dict
 
 from .circuit import Circuit
 from .gates import OP_KINDS, Op

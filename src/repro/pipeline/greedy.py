@@ -1,0 +1,52 @@
+"""The greedy-processing pass (Section 6.2).
+
+One pass wraps :func:`repro.compiler.greedy.greedy_compile` for both the
+pure-greedy method (no snapshots, runs to completion, the trace circuit
+is the final circuit) and the hybrid method (snapshots at every mapping
+change, cycle-capped by the pure-ATA candidate's depth so a schedule the
+selector could never pick is not computed in full).
+"""
+
+from __future__ import annotations
+
+from ..compiler.greedy import greedy_compile
+from .base import Pass
+from .context import CompilationContext
+
+
+class GreedyPass(Pass):
+    """Run the greedy engine; write ``context.trace``.
+
+    Reads ``mapping`` and the ``matching`` / ``crosstalk_aware`` /
+    ``unify_swaps`` / ``greedy_cycle_cap`` knobs.  With
+    ``record_snapshots=True`` (the hybrid preset) the default cycle cap
+    is ``3 * depth(cc0) + 50`` where ``cc0`` is the pure-ATA candidate
+    produced by the preceding ``PredictionPass`` — a greedy schedule
+    three times deeper than the structured one can never win the
+    selector.  Without snapshots (the greedy preset) the engine runs to
+    completion and the pass also publishes ``context.circuit``.
+    """
+
+    name = "greedy"
+
+    def __init__(self, record_snapshots: bool = False) -> None:
+        self.record_snapshots = record_snapshots
+
+    def run(self, context: CompilationContext):
+        context.require("mapping")
+        max_cycles = context.knob("greedy_cycle_cap")
+        if (max_cycles is None and self.record_snapshots
+                and context.candidates):
+            max_cycles = 3 * context.candidates[0].depth + 50
+        trace = greedy_compile(
+            context.coupling, context.problem, context.mapping,
+            noise=context.noise, gamma=context.gamma,
+            matching=context.knob("matching", "greedy"),
+            crosstalk_aware=context.knob("crosstalk_aware", True),
+            record_snapshots=self.record_snapshots,
+            max_cycles=max_cycles,
+            unify_swaps=context.knob("unify_swaps", True))
+        context.trace = trace
+        if not self.record_snapshots:
+            context.circuit = trace.circuit
+        return True

@@ -1,0 +1,80 @@
+"""Initial-placement and pattern-selection passes (Fig 18, first row).
+
+``PlacementPass`` turns the ``placement`` knob into an initial mapping;
+``PatternPass`` resolves the architecture's structured ATA pattern
+through the process-local registry cache.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from ..ata.registry import get_pattern
+from ..compiler.mapping import (degree_placement, noise_aware_placement,
+                                quadratic_placement, trivial_placement)
+from .base import Pass
+from .context import CompilationContext
+
+
+class PlacementPass(Pass):
+    """Choose the initial logical->physical mapping.
+
+    Reads ``knobs["placement"]`` (``"quadratic"`` default, ``"degree"``,
+    ``"trivial"``, or ``"noise"``); writes ``context.mapping``.  Skips
+    when a mapping was supplied by the caller.
+
+    ``placement="noise"`` needs a noise model to rank qubits; without one
+    it falls back to quadratic placement.  That fallback used to be
+    silent — sweeps comparing "noise-aware" runs could mislabel plain
+    quadratic ones — so it now emits a :class:`UserWarning` and records
+    ``extra["placement_fallback"]``.
+    """
+
+    name = "placement"
+
+    def run(self, context: CompilationContext):
+        if context.mapping is not None:
+            return False
+        placement = context.knob("placement", "quadratic")
+        coupling, problem, noise = (context.coupling, context.problem,
+                                    context.noise)
+        if placement == "noise" and noise is None:
+            warnings.warn(
+                "placement='noise' requested but no noise model was "
+                "given; falling back to quadratic placement (recorded in "
+                "extra['placement_fallback'])",
+                UserWarning, stacklevel=2)
+            context.extras["placement_fallback"] = {
+                "requested": "noise",
+                "used": "quadratic",
+                "reason": "no noise model provided",
+            }
+        if placement == "noise" and noise is not None:
+            # Quality-seeded region, then refined for problem compactness.
+            seed_mapping = noise_aware_placement(coupling, problem, noise)
+            context.mapping = quadratic_placement(coupling, problem,
+                                                  initial=seed_mapping)
+        elif placement in ("quadratic", "noise"):
+            context.mapping = quadratic_placement(coupling, problem)
+        elif placement == "degree":
+            context.mapping = degree_placement(coupling, problem)
+        elif placement == "trivial":
+            context.mapping = trivial_placement(coupling, problem)
+        else:
+            raise ValueError(f"unknown placement {placement!r}")
+        return True
+
+
+class PatternPass(Pass):
+    """Resolve the architecture's ATA pattern (cached per process).
+
+    Writes ``context.pattern``; skips when the caller supplied one.
+    """
+
+    name = "pattern"
+
+    def run(self, context: CompilationContext):
+        if context.pattern is not None:
+            return False
+        context.pattern = get_pattern(context.coupling)
+        return True

@@ -1,0 +1,118 @@
+"""ATA-suffix prediction and candidate-pool passes (Sections 6.3-6.4).
+
+``PredictionPass`` executes the structured pattern from the *initial*
+mapping — the pure-ATA circuit ``cc0`` of Theorem 6.1.  ``CandidatePass``
+then splices ATA suffixes onto greedy prefixes at an evenly-spaced sample
+of the recorded snapshots (:func:`sample_snapshots`), building the
+candidate pool the selector scores.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+from ..compiler.prediction import ata_suffix
+from ..compiler.selector import make_candidate
+from ..ir.circuit import Circuit
+from .base import Pass
+from .context import CompilationContext
+
+
+def sample_snapshots(snapshots: Sequence, max_predictions: int) -> List:
+    """Evenly sample snapshots, always keeping the first (pure ATA).
+
+    The paper predicts after *every* mapping change; each prediction
+    costs a full suffix execution, so we score an evenly-spaced sample of
+    at most ``max_predictions`` snapshots, endpoints included.
+    """
+    if len(snapshots) <= max_predictions:
+        return list(snapshots)
+    if max_predictions == 1:
+        # A single allowed prediction keeps the pure-ATA endpoint; the
+        # general formula below would divide by zero here.
+        return list(snapshots[:1])
+    step = (len(snapshots) - 1) / (max_predictions - 1)
+    indices = sorted({round(i * step) for i in range(max_predictions)})
+    return [snapshots[i] for i in indices]
+
+
+class PredictionPass(Pass):
+    """Execute the full ATA pattern from the initial mapping.
+
+    Reads ``mapping``, ``pattern`` and the ``use_range_detection`` knob.
+    With ``as_result=True`` (the ``ata`` preset) the suffix circuit *is*
+    the compiled circuit; otherwise (the hybrid preset) it becomes
+    candidate 0 of the pool — ``cc0``, whose presence is what makes
+    Theorem 6.1 hold.
+    """
+
+    name = "prediction"
+
+    def __init__(self, as_result: bool = False) -> None:
+        self.as_result = as_result
+
+    def run(self, context: CompilationContext):
+        context.require("mapping", "pattern")
+        circuit, _ = ata_suffix(
+            context.coupling, context.pattern, context.mapping,
+            context.problem.edges, gamma=context.gamma,
+            use_range_detection=context.knob("use_range_detection", True))
+        if self.as_result:
+            context.circuit = circuit
+        else:
+            context.candidates.append(
+                make_candidate("ata", circuit, context.noise))
+        return True
+
+
+class CandidatePass(Pass):
+    """Build the hybrid candidate pool from the greedy trace.
+
+    Reads ``trace`` (and ``pattern`` / ``max_predictions``); appends to
+    ``candidates`` — the finished greedy circuit (when the engine
+    completed within its cycle cap) plus one ``hybrid@<cycle>`` candidate
+    per sampled snapshot, each a greedy prefix completed by the ATA
+    suffix.  Writes the ``extra["candidates"]`` pool statistics and
+    ``extra["prediction_times_s"]``.
+
+    Shares the ``prediction`` timings bucket with ``PredictionPass``:
+    both are executions of the same Section 6.3 predictor.
+    """
+
+    name = "candidates"
+    stage = "prediction"
+
+    def run(self, context: CompilationContext):
+        context.require("trace", "pattern")
+        trace = context.trace
+        if not trace.remaining:
+            context.candidates.append(
+                make_candidate("greedy", trace.circuit, context.noise))
+        sampled = sample_snapshots(trace.snapshots,
+                                   context.knob("max_predictions", 24))
+        prediction_times: List[float] = []
+        for snapshot in sampled:
+            if not snapshot.remaining or snapshot.op_count == 0:
+                continue  # snapshot 0 duplicates the pure ATA candidate
+            started = time.perf_counter()
+            prefix = Circuit(context.coupling.n_qubits,
+                             list(trace.circuit.ops[:snapshot.op_count]))
+            suffix_circuit, _ = ata_suffix(
+                context.coupling, context.pattern, snapshot.mapping,
+                snapshot.remaining, gamma=context.gamma,
+                use_range_detection=context.knob("use_range_detection",
+                                                 True),
+                circuit=prefix)
+            prediction_times.append(time.perf_counter() - started)
+            context.candidates.append(make_candidate(
+                f"hybrid@{snapshot.cycle}", suffix_circuit, context.noise))
+        context.extras["candidates"] = {
+            "count": len(context.candidates),
+            "snapshots_total": len(trace.snapshots),
+            "snapshots_sampled": len(sampled),
+            "greedy_finished": not trace.remaining,
+            "greedy_cycles": trace.cycles,
+        }
+        context.extras["prediction_times_s"] = prediction_times
+        return True

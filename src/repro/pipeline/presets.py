@@ -1,0 +1,101 @@
+"""Declarative pipeline presets for the paper's three methods.
+
+Each preset is a tuple of pass factories — the Fig 18 workflow spelled
+out as data rather than control flow:
+
+* ``hybrid`` — placement, pattern, pure-ATA prediction (``cc0``), greedy
+  with snapshots, per-snapshot candidates, cost-F selection;
+* ``greedy`` — placement, greedy to completion;
+* ``ata`` — placement, pattern, rigid pattern execution.
+
+:func:`build_context` validates the caller's knobs against
+:data:`PAPER_KNOBS` (an unknown keyword raises ``TypeError``, matching
+the old explicit-signature behaviour) and :func:`build_pipeline` turns a
+preset name into a runnable :class:`~repro.pipeline.base.Pipeline`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from .base import Pass, PassObserver, Pipeline
+from .context import CompilationContext
+from .greedy import GreedyPass
+from .placement import PatternPass, PlacementPass
+from .prediction import CandidatePass, PredictionPass
+from .selection import SelectionPass
+from .validate import ValidatePass
+
+#: Every knob the paper methods understand, with its default.  The two
+#: ``None``-defaulted object knobs (``initial_mapping``, ``pattern``)
+#: seed context *fields* rather than staying in ``knobs``.
+PAPER_KNOBS: Dict[str, object] = {
+    "initial_mapping": None,
+    "placement": "quadratic",
+    "alpha": 0.5,
+    "max_predictions": 24,
+    "matching": "greedy",
+    "crosstalk_aware": True,
+    "use_range_detection": True,
+    "pattern": None,
+    "greedy_cycle_cap": None,
+    "unify_swaps": True,
+}
+
+#: Pass factories per method, in execution order.
+PRESETS: Dict[str, Tuple[Callable[[], Pass], ...]] = {
+    "hybrid": (PlacementPass, PatternPass, PredictionPass,
+               lambda: GreedyPass(record_snapshots=True),
+               CandidatePass, SelectionPass),
+    "greedy": (PlacementPass, GreedyPass),
+    "ata": (PlacementPass, PatternPass,
+            lambda: PredictionPass(as_result=True)),
+}
+
+
+def build_context(
+    method: str,
+    coupling,
+    problem,
+    noise=None,
+    gamma: float = 0.0,
+    options: Optional[Dict[str, object]] = None,
+) -> CompilationContext:
+    """A validated context for one paper-method compilation."""
+    options = dict(options or {})
+    unknown = sorted(set(options) - set(PAPER_KNOBS))
+    if unknown:
+        raise TypeError(
+            f"compile_qaoa() got unexpected keyword argument(s) "
+            f"{', '.join(map(repr, unknown))} for method {method!r}")
+    knobs = {**PAPER_KNOBS, **options}
+    max_predictions = knobs["max_predictions"]
+    if max_predictions < 1:
+        raise ValueError(
+            f"max_predictions must be >= 1 (got {max_predictions}); 1 "
+            "keeps only the pure-ATA prediction, the default 24 samples "
+            "evenly")
+    return CompilationContext(
+        coupling=coupling, problem=problem, method=method, noise=noise,
+        gamma=gamma, mapping=knobs.pop("initial_mapping"),
+        pattern=knobs.pop("pattern"), knobs=knobs)
+
+
+def build_pipeline(
+    method: str,
+    on_pass_end: Optional[PassObserver] = None,
+    validate: bool = False,
+) -> Pipeline:
+    """Instantiate the preset pipeline for ``method``.
+
+    ``validate=True`` appends a :class:`ValidatePass`, turning semantic
+    violations into in-pipeline failures.
+    """
+    if method not in PRESETS:
+        raise ValueError(
+            f"no pipeline preset for method {method!r}; "
+            f"expected one of {tuple(PRESETS)}")
+    passes = [factory() for factory in PRESETS[method]]
+    if validate:
+        passes.append(ValidatePass())
+    return Pipeline(passes, name=method, on_pass_end=on_pass_end)

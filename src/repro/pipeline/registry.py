@@ -1,0 +1,168 @@
+"""One registry for every compiler method — paper presets and baselines.
+
+``compile_qaoa(method=...)``, the batch engine (:mod:`repro.batch`),
+``analysis.run_sweep`` and the CLI all resolve method names here, so
+adding a compiler is **one** :func:`register_method` call instead of
+edits to five dispatch sites.
+
+The module imports nothing from the rest of :mod:`repro` at import time:
+each :class:`MethodSpec` carries a lazy runner that pulls in the preset
+pipeline (or the baseline module) only when the method actually runs, so
+``import repro.batch`` stays light and worker processes pay the import
+cost once.
+
+>>> from repro.pipeline.registry import get_method, available_methods
+>>> available_methods()[:3]
+('hybrid', 'greedy', 'ata')
+>>> result = get_method("sabre").compile(coupling, problem)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+#: Runner signature: ``(coupling, problem, noise, gamma, on_pass_end,
+#: options) -> CompiledResult``.
+MethodRunner = Callable[..., object]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A registered compiler method."""
+
+    name: str
+    #: ``"paper"`` (hybrid/greedy/ata presets) or ``"baseline"``.
+    kind: str
+    runner: MethodRunner = field(repr=False)
+    description: str = ""
+
+    def compile(self, coupling, problem, noise=None, gamma: float = 0.0,
+                on_pass_end=None, **options):
+        """Compile one instance with this method.
+
+        ``options`` are method-specific knobs (``alpha``,
+        ``max_predictions``, ... for paper methods; the baseline
+        function's own keyword arguments otherwise).  ``on_pass_end`` is
+        the per-pass observability callback of
+        :class:`repro.pipeline.base.Pipeline`.
+        """
+        if problem.n_vertices > coupling.n_qubits:
+            raise ValueError(
+                f"problem has {problem.n_vertices} qubits but "
+                f"{coupling.name} has only {coupling.n_qubits}")
+        return self.runner(coupling, problem, noise, gamma, on_pass_end,
+                           options)
+
+
+_REGISTRY: Dict[str, MethodSpec] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_method(spec: MethodSpec,
+                    aliases: Tuple[str, ...] = ()) -> MethodSpec:
+    """Register a method (and optional alias names) for global lookup.
+
+    Re-registering a name replaces the previous spec — deliberate, so
+    downstream users can swap in an instrumented or experimental variant
+    of a stock method.
+    """
+    _REGISTRY[spec.name] = spec
+    for alias in aliases:
+        _ALIASES[alias] = spec.name
+    return spec
+
+
+def get_method(name: str) -> MethodSpec:
+    """Resolve a method name (or alias); ``ValueError`` names the valid
+    set so CLI/batch error messages are actionable."""
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _REGISTRY[canonical]
+    except KeyError:
+        raise ValueError(
+            f"unknown compiler method {name!r}; registered methods: "
+            f"{', '.join(available_methods())}") from None
+
+
+def available_methods() -> Tuple[str, ...]:
+    """Canonical method names, paper methods first (registration order)."""
+    return tuple(_REGISTRY)
+
+
+def method_table() -> Dict[str, str]:
+    """``{name: description}`` for help text and docs."""
+    return {name: spec.description for name, spec in _REGISTRY.items()}
+
+
+# ---------------------------------------------------------------------------
+# Stock registrations.
+# ---------------------------------------------------------------------------
+
+def _paper_runner(method: str) -> MethodRunner:
+    def run(coupling, problem, noise, gamma, on_pass_end, options):
+        from .presets import build_context, build_pipeline
+
+        context = build_context(method, coupling, problem, noise=noise,
+                                gamma=gamma, options=options)
+        return build_pipeline(method, on_pass_end=on_pass_end) \
+            .compile(context)
+    return run
+
+
+def _baseline_runner(name: str, loader: Callable[[], Callable],
+                     forward_gamma: bool = True) -> MethodRunner:
+    def run(coupling, problem, noise, gamma, on_pass_end, options):
+        from .base import Pipeline
+        from .baseline import BaselinePass
+        from .context import CompilationContext
+
+        context = CompilationContext(
+            coupling=coupling, problem=problem, method=name, noise=noise,
+            gamma=gamma, knobs=dict(options))
+        pipeline = Pipeline(
+            [BaselinePass(name, loader(), forward_gamma=forward_gamma)],
+            name=name, on_pass_end=on_pass_end)
+        return pipeline.compile(context)
+    return run
+
+
+def _register_stock_methods() -> None:
+    for method, description in (
+        ("hybrid", "greedy + ATA-suffix candidates + cost-F selector "
+                   "(the paper's compiler, Fig 18)"),
+        ("greedy", "pure greedy processing (Fig 17's 'greedy' bars)"),
+        ("ata", "rigid structured-pattern following ('solver' bars)"),
+    ):
+        register_method(MethodSpec(method, "paper",
+                                   _paper_runner(method), description))
+
+    def baseline(loader_name: str) -> Callable[[], Callable]:
+        def load() -> Callable:
+            from .. import baselines
+            return getattr(baselines, loader_name)
+        return load
+
+    for name, loader_name, description, aliases in (
+        ("sabre", "compile_sabre",
+         "SABRE-style heuristic routing of the fixed gate order", ()),
+        ("qaim", "compile_qaim",
+         "QAIM-style cycle-by-cycle SWAP chasing", ()),
+        ("2qan", "compile_twoqan",
+         "2QAN-style quadratic placement search + unified routing",
+         ("twoqan",)),
+        ("paulihedral", "compile_paulihedral",
+         "Paulihedral-style layer-ordered block scheduling", ()),
+        ("olsq", "compile_olsq",
+         "OLSQ-style exact depth-minimal search with beam fallback", ()),
+        ("satmap", "compile_satmap",
+         "SATMAP-style gate-count-minimising multi-restart search", ()),
+    ):
+        register_method(
+            MethodSpec(name, "baseline",
+                       _baseline_runner(name, baseline(loader_name)),
+                       description),
+            aliases=aliases)
+
+
+_register_stock_methods()

@@ -1,0 +1,47 @@
+"""The cost-F selection pass (Section 6.4, Theorem 6.1)."""
+
+from __future__ import annotations
+
+from ..compiler.selector import score_candidates
+from .base import Pass
+from .context import CompilationContext
+
+
+class SelectionPass(Pass):
+    """Score the candidate pool with cost F and keep the winner.
+
+    Reads ``candidates`` (candidate 0 must be the pure-ATA ``cc0``),
+    ``trace`` and the ``alpha`` knob; writes ``context.selected`` /
+    ``context.circuit`` and the ``selected`` / ``n_candidates`` /
+    ``scores`` extras.  Depth and gate-count terms are normalised by the
+    finished greedy circuit when the engine completed, by ``cc0``
+    otherwise (the greedy prefix alone is not a complete program).
+    """
+
+    name = "selection"
+
+    def run(self, context: CompilationContext):
+        if not context.candidates:
+            raise ValueError(
+                "SelectionPass needs a non-empty candidate pool; run "
+                "PredictionPass/CandidatePass first")
+        context.require("trace")
+        trace = context.trace
+        cc0 = context.candidates[0]
+        if trace.remaining:
+            norm_depth = cc0.depth
+            norm_gates = cc0.gate_count
+        else:
+            norm_depth = trace.circuit.depth()
+            norm_gates = trace.circuit.cx_count(unify=True)
+        best = score_candidates(context.candidates,
+                                greedy_depth=norm_depth,
+                                greedy_gates=norm_gates,
+                                alpha=context.knob("alpha", 0.5))
+        context.selected = best
+        context.circuit = best.circuit
+        context.extras["selected"] = best.label
+        context.extras["n_candidates"] = len(context.candidates)
+        context.extras["scores"] = {c.label: c.score
+                                    for c in context.candidates}
+        return True

@@ -1,0 +1,34 @@
+"""Semantic-validation pass.
+
+Not part of the default presets (callers opt in, exactly as they opted
+into ``CompiledResult.validate`` before), but any pipeline can append a
+``ValidatePass`` to fail the compilation — rather than a later consumer —
+when the produced circuit does not implement the problem from the chosen
+initial mapping.
+"""
+
+from __future__ import annotations
+
+from ..ir.validate import validate_compiled
+from .base import Pass
+from .context import CompilationContext
+
+
+class ValidatePass(Pass):
+    """Check the compiled circuit with the semantic validator.
+
+    Reads ``circuit`` and ``mapping``; raises
+    :class:`repro.exceptions.ValidationError` when the circuit uses a
+    non-existent coupling, drops a problem gate, or applies one under the
+    wrong mapping.  Records the number of distinct problem edges the
+    validator replayed in ``extra["validated_edges"]`` on success.
+    """
+
+    name = "validate"
+
+    def run(self, context: CompilationContext):
+        context.require("circuit", "mapping")
+        report = validate_compiled(context.circuit, context.coupling.edges,
+                                   context.mapping, context.problem.edges)
+        context.extras["validated_edges"] = report.n_edges
+        return True

@@ -18,7 +18,6 @@ counts uniformly across all compilers and therefore cancels in comparisons.)
 
 from __future__ import annotations
 
-import math
 from typing import List, Tuple
 
 from .graphs import ProblemGraph

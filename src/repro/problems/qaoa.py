@@ -15,8 +15,7 @@ a bitstring distribution is computed by :meth:`QaoaProblem.expected_cut`.
 
 from __future__ import annotations
 
-from itertools import product
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

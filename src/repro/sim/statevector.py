@@ -65,7 +65,6 @@ def _two_qubit_tensor(op: Op) -> np.ndarray:
 
 def apply_op(state: np.ndarray, op: Op) -> np.ndarray:
     """Apply one operation to a rank-n state tensor (returns a new array)."""
-    n = state.ndim
     if len(op.qubits) == 1:
         q = op.qubits[0]
         matrix = _one_qubit_matrix(op)

@@ -18,13 +18,12 @@ qubits.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..arch.noise import NoiseModel
 from ..compiler.result import CompiledResult
-from ..ir.circuit import Circuit
 from ..ir.decompose import _FUSED, fusion_units
 from ..ir.gates import CPHASE, SWAP, Op, canonical_edge
 from ..ir.mapping import Mapping

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.analysis import SweepResult, make_workload, run_sweep
-from repro.analysis.sweeps import SweepPoint
+from repro.analysis import make_workload, run_sweep
 from repro.compiler import compile_qaoa
 
 

@@ -54,7 +54,7 @@ class TestSycamore:
     def test_interior_degree_is_four(self):
         g = sycamore(5, 5)
         interior = 2 * 5 + 2  # row 2, col 2 -> node 12
-        assert g.degree(12) == 4
+        assert g.degree(interior) == 4
 
     def test_rows_have_no_internal_edges(self):
         g = sycamore(3, 4)
@@ -74,7 +74,6 @@ class TestSycamore:
             assert g.has_edge(a, b), (a, b)
 
     def test_pair_path_alternates_rows(self):
-        g = sycamore(2, 4)
         path = sycamore_pair_path(0, 4)
         rows = [q // 4 for q in path]
         assert rows == [1, 0] * 4

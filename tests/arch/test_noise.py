@@ -1,6 +1,5 @@
 """Tests for the synthetic noise calibration."""
 
-import math
 
 import pytest
 

@@ -8,7 +8,6 @@ from repro.ata.bipartite_pattern import BipartitePattern
 
 def simulate(pattern):
     """Returns (met cross pairs, final row contents, n cycles)."""
-    n = len(pattern.row_a)
     occupant = {}
     for i, q in enumerate(pattern.row_a):
         occupant[q] = ("a", i)

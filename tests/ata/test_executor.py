@@ -3,8 +3,8 @@
 import pytest
 
 from repro.arch import grid, heavyhex, line
-from repro.ata import (LinePattern, compile_with_pattern, execute_pattern,
-                       get_pattern, greedy_completion)
+from repro.ata import (compile_with_pattern, execute_pattern, get_pattern,
+                       greedy_completion)
 from repro.ir.circuit import Circuit
 from repro.ir.gates import CPHASE, SWAP
 from repro.ir.mapping import Mapping

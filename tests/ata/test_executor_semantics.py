@@ -1,8 +1,6 @@
 """Fine-grained semantics of the pattern executor."""
 
-import pytest
 
-from repro.arch import line
 from repro.ata import LinePattern, execute_pattern
 from repro.ata.base import GATE, SWAP, AtaPattern
 from repro.ir.gates import CPHASE

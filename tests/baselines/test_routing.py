@@ -1,6 +1,5 @@
 """Tests for the shared baseline routing helpers."""
 
-import pytest
 
 from repro.arch import grid, line
 from repro.baselines.routing import (mapping_cost, matching_layers,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.arch import (NoiseModel, grid, heavyhex, hexagon, line, sycamore)
 from repro.compiler import compile_qaoa
-from repro.problems import clique, random_problem_graph, regular_problem_graph
+from repro.problems import clique, random_problem_graph
 
 
 ARCHES = {

@@ -1,11 +1,9 @@
 """Engine-level tests for the greedy component (Section 6.2)."""
 
-import pytest
 
 from repro.arch import grid, line, uniform_noise_model
 from repro.compiler.greedy import greedy_compile
 from repro.compiler.mapping import trivial_placement
-from repro.exceptions import CompilationError
 from repro.ir.gates import CPHASE, SWAP
 from repro.ir.validate import validate_compiled
 from repro.problems import ProblemGraph, clique, random_problem_graph

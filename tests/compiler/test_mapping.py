@@ -96,8 +96,13 @@ class TestNoiseAware:
         result.validate(coupling, problem)
 
     def test_noise_placement_falls_back_without_model(self):
+        import pytest
+
         from repro.compiler import compile_qaoa
         coupling = grid(4, 4)
         problem = random_problem_graph(10, 0.4, seed=3)
-        result = compile_qaoa(coupling, problem, placement="noise")
+        with pytest.warns(UserWarning, match="falling back to quadratic"):
+            result = compile_qaoa(coupling, problem, placement="noise")
         result.validate(coupling, problem)
+        # The fallback is recorded so sweeps can't mislabel the run.
+        assert result.extra["placement_fallback"]["requested"] == "noise"

@@ -8,7 +8,7 @@ from repro.exceptions import ValidationError
 from repro.ir.circuit import Circuit
 from repro.ir.gates import Op
 from repro.ir.mapping import Mapping
-from repro.problems import ProblemGraph, clique
+from repro.problems import clique
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Property-based decomposition tests: unitary exactness on random circuits."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

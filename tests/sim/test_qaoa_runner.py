@@ -6,8 +6,7 @@ import pytest
 from repro.arch import NoiseModel, line, mumbai
 from repro.compiler import compile_qaoa
 from repro.ir.circuit import Circuit
-from repro.ir.gates import CPHASE, Op
-from repro.ir.mapping import Mapping
+from repro.ir.gates import Op
 from repro.problems import ProblemGraph, QaoaProblem, random_problem_graph
 from repro.sim import (QaoaRunner, logical_equivalent, probabilities,
                        qaoa_layer_circuit, run_circuit)

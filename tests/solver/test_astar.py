@@ -102,7 +102,6 @@ class TestAdmissibility:
 
     @pytest.mark.parametrize("seed", [0, 1, 2, 3])
     def test_random_instances_bounded_below(self, seed):
-        import numpy as np
 
         from repro.solver.heuristic import heuristic
 

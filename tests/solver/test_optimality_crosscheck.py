@@ -6,7 +6,6 @@ heuristic would be inadmissible.  Property-tested on random tiny
 instances.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -25,6 +25,25 @@ class TestCompile:
         assert code == 0
         assert "method:   ata" in out
 
+    def test_baseline_method_resolves_through_registry(self, capsys):
+        code, out = run_cli(capsys, ["compile", "--arch", "grid",
+                                     "--qubits", "9", "--density", "0.4",
+                                     "--method", "sabre"])
+        assert code == 0
+        assert "method:   sabre" in out
+        assert "depth" in out
+
+    def test_unknown_method_exits_2_listing_registry(self, capsys):
+        code = main(["compile", "--arch", "grid", "--qubits", "9",
+                     "--method", "magic"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "magic" in err
+        # The message must list every registered method, baselines too.
+        for name in ("hybrid", "greedy", "ata", "sabre", "qaim", "2qan",
+                     "paulihedral", "olsq", "satmap"):
+            assert name in err
+
     def test_noise_flag_adds_esp(self, capsys):
         code, out = run_cli(capsys, ["compile", "--arch", "grid",
                                      "--qubits", "9", "--noise"])
@@ -99,12 +118,22 @@ class TestBatch:
     def test_batch_bad_method_exits_2(self, capsys):
         code = main(["batch", "--method", "magic", "--serial"])
         assert code == 2
-        assert "magic" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "magic" in err
+        assert "sabre" in err  # registry listing, not a local table
+
+    def test_batch_baseline_method_runs(self, capsys):
+        code, out = run_cli(capsys, ["batch", "--arch", "line",
+                                     "--qubits", "6", "--count", "2",
+                                     "--method", "sabre", "--serial"])
+        assert code == 0
+        assert "2/2 jobs ok" in out
 
     def test_telemetry_flag_prints_stages(self, capsys):
         code, out = run_cli(capsys, ["compile", "--arch", "grid",
                                      "--qubits", "9", "--telemetry"])
         assert code == 0
+        assert "pass" in out
         assert "stage" in out
         assert "cache" in out
 
