@@ -14,6 +14,10 @@ Public API highlights
   methods and baselines alike.
 * :func:`repro.compile_many` / :mod:`repro.batch` — batch compilation over
   a process pool with shared caches, per-job timeouts and telemetry.
+* :func:`repro.lint_circuit` / :mod:`repro.lint` — the diagnostics-based
+  static analyzer for compiled circuits (rule codes ``RL0xx``; see
+  ``docs/linting.md``), also available as a ``LintPass``, the batch
+  engine's ``lint=True`` and the ``python -m repro lint`` subcommand.
 * :mod:`repro.arch` — line / grid / Sycamore / hexagon / heavy-hex coupling
   graphs with synthetic noise calibration.
 * :mod:`repro.ata` — structured all-to-all swap-network patterns.
@@ -63,9 +67,30 @@ def available_methods():
     return _methods()
 
 
+def lint_circuit(*args, **kwargs):
+    """Statically analyze a compiled circuit (lazy import of the linter).
+
+    See :func:`repro.lint.lint_circuit` for the full signature.
+    """
+    from .lint import lint_circuit as _lint
+
+    return _lint(*args, **kwargs)
+
+
+def lint_result(*args, **kwargs):
+    """Statically analyze a :class:`CompiledResult` (lazy import).
+
+    See :func:`repro.lint.lint_result` for the full signature.
+    """
+    from .lint import lint_result as _lint
+
+    return _lint(*args, **kwargs)
+
+
 _LAZY_PIPELINE_EXPORTS = (
     "CompilationContext", "Pass", "Pipeline", "MethodSpec",
-    "register_method", "get_method", "build_pipeline",
+    "register_method", "get_method", "build_pipeline", "LintPass",
+    "ValidatePass",
 )
 
 
@@ -82,6 +107,8 @@ __all__ = [
     "compile_qaoa",
     "compile_many",
     "available_methods",
+    "lint_circuit",
+    "lint_result",
     *_LAZY_PIPELINE_EXPORTS,
     "Circuit",
     "Mapping",

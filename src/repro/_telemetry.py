@@ -87,6 +87,29 @@ def clear_caches() -> None:
         counter.reset()
 
 
+_EVENTS: Dict[str, int] = {}
+
+
+def count_event(name: str, n: int = 1) -> None:
+    """Bump a process-local event counter (e.g. ``lint.errors``).
+
+    Events complement the cache counters: anything that wants a cheap
+    "how often did X happen in this process" tally — lint runs, rule
+    hits, fallbacks — counts here and shows up in :func:`event_info`.
+    """
+    _EVENTS[name] = _EVENTS.get(name, 0) + n
+
+
+def event_info() -> Dict[str, int]:
+    """Point-in-time snapshot of every event counter, sorted by name."""
+    return dict(sorted(_EVENTS.items()))
+
+
+def clear_events() -> None:
+    """Zero all event counters (test isolation)."""
+    _EVENTS.clear()
+
+
 class StageTimer:
     """Accumulate named wall-clock stage durations for one compilation."""
 

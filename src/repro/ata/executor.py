@@ -49,7 +49,7 @@ def execute_pattern(
     # Unfinished qubits' trajectories are unaffected: none of *their*
     # swaps are ever skipped.
     degree: dict = {}
-    for u, v in needed:
+    for u, v in needed:  # det: ok — counts only; degree is never iterated
         degree[u] = degree.get(u, 0) + 1
         degree[v] = degree.get(v, 0) + 1
 

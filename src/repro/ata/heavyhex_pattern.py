@@ -83,7 +83,7 @@ class HeavyHexPattern(AtaPattern):
         wanted = set(qubits)
         if wanted & set(self.off_path):
             return self
-        positions = [self.path.index(q) for q in wanted]
+        positions = [self.path.index(q) for q in wanted]  # det: ok — min/max only
         lo, hi = min(positions), max(positions)
         segment = self.path[lo:hi + 1]
         # Off-path anchors inside the segment stay available for interleaves

@@ -38,6 +38,10 @@ from .jobs import BatchJob, JobResult
 
 EXECUTORS = ("process", "thread", "serial")
 
+#: Diagnostics embedded per job result (counts stay exact; the payload
+#: crosses a process boundary, so the op-level list is capped).
+MAX_LINT_DIAGNOSTICS_PER_JOB = 25
+
 
 class JobTimeout(Exception):
     """Raised inside a worker when a job exceeds its per-job timeout."""
@@ -85,6 +89,7 @@ def execute_job(job: BatchJob, timeout_s: Optional[float] = None) -> JobResult:
     """
     start = time.perf_counter()
     before = cache_info()
+    lint_payload = None
     try:
         with _deadline(timeout_s):
             from .jobs import resolve_compiler
@@ -93,17 +98,28 @@ def execute_job(job: BatchJob, timeout_s: Optional[float] = None) -> JobResult:
             compiler = resolve_compiler(job.method)
             result = compiler(coupling, problem, noise=noise,
                               gamma=job.gamma, **dict(job.options))
+            if job.lint:
+                # Lint before validating: the linter collects *all*
+                # findings, so its report must survive even when the
+                # fail-fast validator rejects the circuit next.
+                from ..lint import lint_result, render_json
+
+                lint_payload = render_json(
+                    lint_result(result, coupling, problem),
+                    max_diagnostics=MAX_LINT_DIAGNOSTICS_PER_JOB)
             if job.validate:
                 result.validate(coupling, problem)
             record = result.to_record()
         return JobResult(
             job=job, ok=True, wall_time_s=time.perf_counter() - start,
-            record=record, cache=cache_delta(before, cache_info()))
+            record=record, cache=cache_delta(before, cache_info()),
+            lint=lint_payload)
     except Exception as exc:  # per-job failure capture, not batch abort
         return JobResult(
             job=job, ok=False, wall_time_s=time.perf_counter() - start,
             cache=cache_delta(before, cache_info()),
-            error=str(exc), error_type=type(exc).__name__)
+            error=str(exc), error_type=type(exc).__name__,
+            lint=lint_payload)
 
 
 @dataclass
@@ -134,6 +150,29 @@ class BatchReport:
                 bucket["hits"] += delta.get("hits", 0)
                 bucket["misses"] += delta.get("misses", 0)
         return totals
+
+    def lint_totals(self) -> Dict[str, Dict[str, int]]:
+        """Aggregated lint findings across every linted job.
+
+        ``{"counts": {severity: n}, "by_rule": {code: n}}``; empty dicts
+        when no job ran with ``lint=True``.
+        """
+        counts: Dict[str, int] = {}
+        by_rule: Dict[str, int] = {}
+        for result in self.results:
+            if not result.lint:
+                continue
+            for severity, n in result.lint.get("counts", {}).items():
+                counts[severity] = counts.get(severity, 0) + n
+            for code, n in result.lint.get("by_rule", {}).items():
+                by_rule[code] = by_rule.get(code, 0) + n
+        return {"counts": dict(sorted(counts.items())),
+                "by_rule": dict(sorted(by_rule.items()))}
+
+    @property
+    def lint_errors(self) -> int:
+        """Total error-severity diagnostics across all linted jobs."""
+        return self.lint_totals()["counts"].get("error", 0)
 
     def stage_totals(self) -> Dict[str, float]:
         """Summed per-stage compile seconds across successful jobs."""
@@ -169,6 +208,14 @@ class BatchReport:
         for name, totals in sorted(self.cache_totals().items()):
             lines.append(f"cache {name}: {totals['hits']} hits / "
                          f"{totals['misses']} misses")
+        if any(r.lint for r in self.results):
+            totals = self.lint_totals()
+            rules = ", ".join(f"{code}x{n}"
+                              for code, n in totals["by_rule"].items())
+            lines.append(
+                f"lint: {totals['counts'].get('error', 0)} error(s), "
+                f"{totals['counts'].get('warning', 0)} warning(s)"
+                + (f" [{rules}]" if rules else ""))
         return "\n".join(lines)
 
     def to_json(self) -> Dict:
@@ -181,6 +228,7 @@ class BatchReport:
             "timeout_enforced": self.timeout_enforced,
             "cache_totals": self.cache_totals(),
             "stage_totals": self.stage_totals(),
+            "lint_totals": self.lint_totals(),
             "jobs": [
                 {
                     "name": r.job.name,
@@ -194,6 +242,7 @@ class BatchReport:
                     "wall_time_s": r.wall_time_s,
                     "record": r.record,
                     "cache": r.cache,
+                    "lint": r.lint,
                     "error": r.error,
                     "error_type": r.error_type,
                 }

@@ -48,6 +48,11 @@ class BatchJob:
     gamma: float = 0.0
     use_noise: bool = False
     validate: bool = True
+    #: Run the circuit linter (:mod:`repro.lint`) over the compiled
+    #: result; the diagnostic summary lands in :attr:`JobResult.lint`
+    #: and aggregates across the batch in
+    #: :meth:`~repro.batch.engine.BatchReport.lint_totals`.
+    lint: bool = False
     #: Extra keyword arguments forwarded to the compiler, as a sorted tuple
     #: of ``(name, value)`` pairs so the spec stays hashable and picklable.
     options: Tuple[Tuple[str, object], ...] = ()
@@ -118,6 +123,10 @@ class JobResult:
     cache: Dict = field(default_factory=dict)
     error: Optional[str] = None
     error_type: Optional[str] = None
+    #: ``repro.lint.render_json`` payload when the job ran with
+    #: ``lint=True`` (present even when a later validation step failed
+    #: the job, so the full diagnostic picture survives).
+    lint: Optional[Dict] = None
 
     @property
     def metrics(self) -> Dict:

@@ -6,8 +6,12 @@ Usage::
     python -m repro compile --arch grid --qubits 16 --method ata --qasm out.qasm
     python -m repro compare --arch sycamore --qubits 32 --density 0.3
     python -m repro batch --arch grid,heavyhex --qubits 24 --count 8 --workers 4
+    python -m repro lint out.json --arch grid --qubits 16 --density 0.3
     python -m repro clique --arch grid --qubits 25
     python -m repro info --arch heavyhex --qubits 64
+
+``lint`` exit codes: 0 clean, 1 error-severity diagnostics found,
+2 usage/load problems.
 """
 
 from __future__ import annotations
@@ -132,8 +136,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run in-process (still cached + fault-tolerant)")
     batch_p.add_argument("--no-validate", action="store_true",
                          help="skip the semantic validator per job")
+    batch_p.add_argument("--lint", action="store_true",
+                         help="run the circuit linter per job and "
+                              "aggregate diagnostics in the report")
     batch_p.add_argument("--json", metavar="FILE",
                          help="write the full report as JSON")
+
+    lint_p = sub.add_parser(
+        "lint", help="statically analyze serialized compiled circuits")
+    lint_p.add_argument("files", nargs="+", metavar="FILE",
+                        help="compiled-result/circuit JSON documents "
+                             "(repro.ir.serialize format) or .qasm files")
+    lint_p.add_argument("--arch", default="heavyhex", choices=_ARCH_CHOICES)
+    lint_p.add_argument("--qubits", type=_positive_int, default=None,
+                        help="logical qubit count of the generated "
+                             "problem (required unless --problem)")
+    lint_p.add_argument("--problem", metavar="FILE",
+                        help="problem-graph JSON "
+                             "(repro.ir.serialize.problem_to_dict format)")
+    lint_p.add_argument("--workload", default="rand",
+                        choices=["rand", "reg", "clique"])
+    lint_p.add_argument("--density", type=_density, default=0.3)
+    lint_p.add_argument("--seed", type=int, default=0)
+    lint_p.add_argument("--format", default="text",
+                        choices=["text", "json"], dest="fmt")
+    lint_p.add_argument("--select", metavar="CODES", default=None,
+                        help="comma-separated rule codes to run "
+                             "exclusively (e.g. RL001,RL013)")
+    lint_p.add_argument("--ignore", metavar="CODES", default=None,
+                        help="comma-separated rule codes to skip")
+    lint_p.add_argument("--allow-repeats", action="store_true",
+                        help="permit repeated problem edges "
+                             "(clique-style patterns)")
+    lint_p.add_argument("--no-require-all-edges", action="store_true",
+                        help="do not report never-executed problem edges")
+    lint_p.add_argument("--strict", action="store_true",
+                        help="exit 1 on warnings as well as errors")
 
     clique_p = sub.add_parser("clique",
                               help="compile the all-to-all special case")
@@ -200,7 +238,7 @@ def _cmd_batch(args) -> int:
             args.arch, args.qubits, methods=methods,
             workloads=(args.workload,), density=args.density,
             seeds=tuple(range(args.seed, args.seed + args.count)),
-            validate=not args.no_validate)
+            validate=not args.no_validate, lint=args.lint)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -218,7 +256,117 @@ def _cmd_batch(args) -> int:
         with open(args.json, "w") as handle:
             json.dump(report.to_json(), handle, indent=2)
         print(f"report written to {args.json}")
-    return 0 if not report.failures else 1
+    if report.failures:
+        return 1
+    return 1 if args.lint and report.lint_errors else 0
+
+
+def _split_codes(text: Optional[str]) -> Optional[List[str]]:
+    """Comma-separated rule codes -> list (``None`` stays ``None``)."""
+    if text is None:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _load_lint_target(path: str):
+    """Load one lint input file.
+
+    Returns ``(circuit, mapping_or_None, expected_metrics_or_None)``.
+    Circuits load through the *unchecked* deserializer so corrupt
+    documents become RL002/RL003 diagnostics instead of load failures.
+    """
+    from .ir.qasm import from_qasm
+    from .ir.serialize import circuit_from_dict, mapping_from_dict
+
+    if path.endswith(".qasm"):
+        with open(path) as handle:
+            return from_qasm(handle.read()), None, None
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError("top-level JSON value is not an object")
+    if "circuit" in data:  # compiled-result document
+        circuit = circuit_from_dict(data["circuit"], check=False)
+        mapping = mapping_from_dict(data["initial_mapping"])
+        return circuit, mapping, data.get("metrics")
+    if "ops" in data:  # bare circuit document
+        return circuit_from_dict(data, check=False), None, None
+    raise ValueError(
+        "unrecognized document: expected a compiled-result or circuit "
+        "JSON (repro.ir.serialize format) or a .qasm file")
+
+
+def _lint_problem(args):
+    """Resolve the problem graph a lint run checks against."""
+    from .ir.serialize import problem_from_dict
+    from .problems import regular_for_density
+
+    if args.problem:
+        with open(args.problem) as handle:
+            return problem_from_dict(json.load(handle))
+    if args.qubits is None:
+        raise ValueError(
+            "lint needs the problem the circuit should implement: pass "
+            "--problem FILE, or --qubits N (with --workload/--density/"
+            "--seed) to regenerate it")
+    if args.workload == "clique":
+        return clique(args.qubits)
+    if args.workload == "reg":
+        return regular_for_density(args.qubits, args.density,
+                                   seed=args.seed)
+    return random_problem_graph(args.qubits, args.density, seed=args.seed)
+
+
+def _cmd_lint(args) -> int:
+    from .exceptions import ReproError
+    from .ir.mapping import Mapping
+    from .lint import lint_circuit, render_json, render_text, resolve_rules
+
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
+    try:
+        resolve_rules(select=select, ignore=ignore)
+        problem = _lint_problem(args)
+    except (OSError, ValueError, KeyError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    total_errors = 0
+    total_warnings = 0
+    json_payloads = []
+    for path in args.files:
+        try:
+            circuit, mapping, expected = _load_lint_target(path)
+            coupling = architecture_for(args.arch, circuit.n_qubits)
+            if mapping is None:
+                if circuit.n_qubits < problem.n_vertices:
+                    raise ValueError(
+                        f"{path}: circuit has {circuit.n_qubits} qubits "
+                        f"but the problem needs {problem.n_vertices}")
+                mapping = Mapping.trivial(problem.n_vertices,
+                                          circuit.n_qubits)
+            report = lint_circuit(
+                circuit, coupling.edges, mapping, problem.edges,
+                allow_repeats=args.allow_repeats,
+                require_all_edges=not args.no_require_all_edges,
+                expected=expected, select=select, ignore=ignore)
+        except (OSError, ValueError, KeyError, ReproError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        counts = report.counts()
+        total_errors += counts["error"]
+        total_warnings += counts["warning"]
+        if args.fmt == "json":
+            json_payloads.append(render_json(report, source=path))
+        else:
+            print(render_text(report, source=path))
+    if args.fmt == "json":
+        totals = {"error": total_errors, "warning": total_warnings}
+        print(json.dumps({"version": 1, "files": json_payloads,
+                          "totals": totals}, indent=2))
+    if total_errors or (args.strict and total_warnings):
+        return 1
+    return 0
 
 
 def _cmd_compare(args) -> int:
@@ -267,6 +415,7 @@ _COMMANDS = {
     "compile": _cmd_compile,
     "compare": _cmd_compare,
     "batch": _cmd_batch,
+    "lint": _cmd_lint,
     "clique": _cmd_clique,
     "info": _cmd_info,
 }

@@ -48,6 +48,24 @@ class Circuit:
         for op in ops:
             self.append(op)
 
+    @classmethod
+    def from_ops_unchecked(cls, n_qubits: int,
+                           ops: Iterable[Op]) -> "Circuit":
+        """Build a circuit **without** the per-op qubit checks.
+
+        The lint subsystem loads possibly-corrupt documents this way so
+        that out-of-range or duplicated qubit indices become diagnostics
+        (``RL002``/``RL003``) instead of construction errors.  Metric
+        methods (``depth``/``layers``) may raise on such circuits; only
+        the tolerant lint scan is guaranteed to handle them.
+        """
+        if n_qubits <= 0:
+            raise ValueError(f"n_qubits must be positive, got {n_qubits}")
+        circuit = cls.__new__(cls)
+        circuit.n_qubits = n_qubits
+        circuit._ops = list(ops)
+        return circuit
+
     def __add__(self, other: "Circuit") -> "Circuit":
         if other.n_qubits != self.n_qubits:
             raise ValueError("cannot concatenate circuits of different widths")

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from .circuit import Circuit
-from .gates import CPHASE, CX, H, PHASE, RX, RZ, SWAP
+from .gates import CPHASE, CX, H, PHASE, RX, RZ, SWAP, Op
 
 
 def to_qasm(circuit: Circuit, measure: bool = False,
@@ -36,7 +36,7 @@ def to_qasm(circuit: Circuit, measure: bool = False,
     return "\n".join(lines) + "\n"
 
 
-def _op_line(op) -> str:
+def _op_line(op: Op) -> str:
     if op.kind == CPHASE:
         a, b = op.qubits
         return f"cu1({_angle(op.param)}) q[{a}],q[{b}];"
@@ -57,7 +57,7 @@ def _op_line(op) -> str:
     raise ValueError(f"cannot serialise op kind {op.kind!r}")
 
 
-def _angle(value) -> str:
+def _angle(value: Optional[float]) -> str:
     return f"{float(value or 0.0):.12g}"
 
 
@@ -67,8 +67,6 @@ def from_qasm(text: str) -> Circuit:
     Round-trip support only — not a general QASM front-end.
     """
     import re
-
-    from .gates import Op
 
     n_qubits = None
     ops = []

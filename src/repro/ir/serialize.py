@@ -8,11 +8,15 @@ The format is a versioned plain-JSON document.
 from __future__ import annotations
 
 import json
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 from .circuit import Circuit
 from .gates import OP_KINDS, Op
 from .mapping import Mapping
+
+if TYPE_CHECKING:  # heavier layers; imported lazily at runtime
+    from ..compiler.result import CompiledResult
+    from ..problems.graphs import ProblemGraph
 
 FORMAT_VERSION = 1
 
@@ -34,20 +38,28 @@ def circuit_to_dict(circuit: Circuit) -> Dict:
     }
 
 
-def circuit_from_dict(data: Dict) -> Circuit:
-    """Inverse of :func:`circuit_to_dict`; validates kinds and version."""
+def circuit_from_dict(data: Dict, check: bool = True) -> Circuit:
+    """Inverse of :func:`circuit_to_dict`; validates kinds and version.
+
+    ``check=False`` skips the per-op qubit-range/duplication checks so a
+    corrupt document still loads — the lint subsystem (:mod:`repro.lint`)
+    uses this to report such ops as diagnostics rather than failing at
+    parse time.  Unknown op kinds and version mismatches always raise.
+    """
     if data.get("version") != FORMAT_VERSION:
         raise ValueError(f"unsupported circuit format {data.get('version')}")
-    circuit = Circuit(data["n_qubits"])
+    ops = []
     for entry in data["ops"]:
         kind = entry["kind"]
         if kind not in OP_KINDS:
             raise ValueError(f"unknown op kind {kind!r}")
         tag = entry.get("tag")
-        circuit.append(Op(kind, tuple(entry["qubits"]),
-                          entry.get("param"),
-                          tuple(tag) if tag is not None else None))
-    return circuit
+        ops.append(Op(kind, tuple(entry["qubits"]),
+                      entry.get("param"),
+                      tuple(tag) if tag is not None else None))
+    if check:
+        return Circuit(data["n_qubits"], ops)
+    return Circuit.from_ops_unchecked(data["n_qubits"], ops)
 
 
 def mapping_to_dict(mapping: Mapping) -> Dict:
@@ -66,12 +78,25 @@ def mapping_from_dict(data: Dict) -> Mapping:
     return Mapping(data["log_to_phys"], data["n_physical"])
 
 
-def compiled_result_to_dict(result) -> Dict:
-    """Serialise a :class:`repro.compiler.CompiledResult`."""
+def compiled_result_to_dict(result: "CompiledResult") -> Dict:
+    """Serialise a :class:`repro.compiler.CompiledResult`.
+
+    The ``metrics`` block records the headline numbers at serialisation
+    time; loaders never need it (everything recomputes from the circuit)
+    but out-of-process consumers read it without decompressing the op
+    list, and ``repro lint`` cross-checks it against recomputation
+    (rule RL021).
+    """
     return {
         "version": FORMAT_VERSION,
         "method": result.method,
         "wall_time_s": result.wall_time_s,
+        "metrics": {
+            "depth": result.depth(),
+            "cx": result.gate_count,
+            "swaps": result.swap_count,
+            "ops": len(result.circuit),
+        },
         "circuit": circuit_to_dict(result.circuit),
         "initial_mapping": mapping_to_dict(result.initial_mapping),
         "extra": {k: v for k, v in result.extra.items()
@@ -79,7 +104,7 @@ def compiled_result_to_dict(result) -> Dict:
     }
 
 
-def compiled_result_from_dict(data: Dict):
+def compiled_result_from_dict(data: Dict) -> "CompiledResult":
     """Inverse of :func:`compiled_result_to_dict`."""
     from ..compiler.result import CompiledResult
 
@@ -95,19 +120,19 @@ def compiled_result_from_dict(data: Dict):
     return result
 
 
-def save_result(result, path: str) -> None:
+def save_result(result: "CompiledResult", path: str) -> None:
     """Write a compiled result to a JSON file."""
     with open(path, "w") as handle:
         json.dump(compiled_result_to_dict(result), handle)
 
 
-def load_result(path: str):
+def load_result(path: str) -> "CompiledResult":
     """Read a compiled result from a JSON file."""
     with open(path) as handle:
         return compiled_result_from_dict(json.load(handle))
 
 
-def problem_to_dict(problem) -> Dict:
+def problem_to_dict(problem: "ProblemGraph") -> Dict:
     """Serialise a problem graph."""
     return {
         "version": FORMAT_VERSION,
@@ -117,7 +142,7 @@ def problem_to_dict(problem) -> Dict:
     }
 
 
-def problem_from_dict(data: Dict):
+def problem_from_dict(data: Dict) -> "ProblemGraph":
     """Inverse of :func:`problem_to_dict`."""
     from ..problems.graphs import ProblemGraph
 

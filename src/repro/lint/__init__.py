@@ -1,0 +1,58 @@
+"""Circuit lint: a diagnostics-based static analyzer for compiled circuits.
+
+Where :func:`repro.ir.validate.validate_compiled` raises on the first
+violation, :func:`lint_circuit` replays the same mapping bookkeeping in
+one tolerant scan and reports **every** finding as a structured
+:class:`Diagnostic` (rule code, severity, op index, cycle, qubits,
+message, fix hint) collected into a :class:`LintReport`.
+
+Rule groups (full catalogue in ``docs/linting.md``):
+
+* ``RL00x`` hardware conformance — uncoupled pairs, intra-cycle qubit
+  reuse, out-of-range indices (errors);
+* ``RL01x`` semantic integrity — spare-qubit gates, non-problem edges,
+  repeated/missing edges, tag/mapping disagreement (errors);
+* ``RL02x`` quality — cancelling SWAP pairs, metric-accounting drift,
+  idle-heavy schedules (warnings/info).
+
+Entry points:
+
+* :func:`lint_circuit` / :func:`lint_result` — library API;
+* :class:`repro.pipeline.LintPass` — in-pipeline linting with per-rule
+  counts in ``CompiledResult.extra["lint"]``;
+* ``python -m repro lint`` — CLI over serialized circuits/results/QASM;
+* ``BatchJob(lint=True)`` — per-job diagnostics aggregated into the
+  :class:`repro.batch.BatchReport`.
+"""
+
+from .diagnostics import (ERROR, INFO, SEVERITIES, WARNING, Diagnostic,
+                          LintReport)
+from .engine import LintContext, OpView, build_context, lint_circuit, \
+    lint_result
+from .reporters import JSON_SCHEMA_VERSION, render_json, render_text
+from .rules import (LintRule, all_rules, get_rule, register_rule,
+                    resolve_rules, rule, rule_table)
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "LintRule",
+    "LintContext",
+    "OpView",
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "JSON_SCHEMA_VERSION",
+    "lint_circuit",
+    "lint_result",
+    "build_context",
+    "render_text",
+    "render_json",
+    "rule",
+    "register_rule",
+    "get_rule",
+    "all_rules",
+    "resolve_rules",
+    "rule_table",
+]

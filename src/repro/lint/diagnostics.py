@@ -1,0 +1,130 @@
+"""Structured diagnostics for the circuit lint subsystem.
+
+Where :func:`repro.ir.validate.validate_compiled` raises on the *first*
+violation, the linter collects **every** finding in one scan as
+:class:`Diagnostic` records — rule code, severity, offending op index and
+cycle, the physical (and, where known, logical) qubits involved, a
+message and a fix hint — aggregated into a :class:`LintReport`.  The
+records are plain data so they serialise into batch reports, CI output
+and ``CompiledResult.extra`` without further ceremony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Severity levels, most severe first.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+SEVERITIES: Tuple[str, ...] = (ERROR, WARNING, INFO)
+
+#: Rank used to order diagnostics of equal position (errors first).
+_SEVERITY_RANK: Dict[str, int] = {sev: i for i, sev in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, pinpointed to an op where possible.
+
+    ``op_index``/``cycle`` are ``None`` for circuit-level findings (a
+    problem edge that was never executed has no op to point at).
+    ``qubits`` are *physical* indices; ``logical`` is the logical pair a
+    CPHASE implements under the tracked mapping, when that is known.
+    """
+
+    code: str
+    severity: str
+    rule: str
+    message: str
+    op_index: Optional[int] = None
+    cycle: Optional[int] = None
+    qubits: Tuple[int, ...] = ()
+    logical: Optional[Tuple[int, int]] = None
+    hint: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (the batch/CLI reporter payload)."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "rule": self.rule,
+            "message": self.message,
+            "op_index": self.op_index,
+            "cycle": self.cycle,
+            "qubits": list(self.qubits),
+            "logical": list(self.logical) if self.logical is not None
+            else None,
+            "hint": self.hint,
+        }
+
+    def location(self) -> str:
+        """Compact ``op#i cycle c`` prefix for text rendering."""
+        parts: List[str] = []
+        if self.op_index is not None:
+            parts.append(f"op#{self.op_index}")
+        if self.cycle is not None:
+            parts.append(f"cycle {self.cycle}")
+        if self.qubits:
+            parts.append(f"qubits {tuple(self.qubits)}")
+        return " ".join(parts) if parts else "circuit"
+
+    def sort_key(self) -> Tuple[int, int, str]:
+        """Op order first (circuit-level findings last), then severity."""
+        index = self.op_index if self.op_index is not None else 1 << 30
+        return (index, _SEVERITY_RANK.get(self.severity, len(SEVERITIES)),
+                self.code)
+
+
+@dataclass
+class LintReport:
+    """Every diagnostic one lint run produced, in op order."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity diagnostic was found."""
+        return not self.errors
+
+    def counts(self) -> Dict[str, int]:
+        """``{severity: count}`` over every known severity."""
+        out = {severity: 0 for severity in SEVERITIES}
+        for diagnostic in self.diagnostics:
+            out[diagnostic.severity] = out.get(diagnostic.severity, 0) + 1
+        return out
+
+    def by_rule(self) -> Dict[str, int]:
+        """``{rule code: count}``, sorted by code."""
+        out: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            out[diagnostic.code] = out.get(diagnostic.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    def codes(self) -> Tuple[str, ...]:
+        """The distinct rule codes that fired, sorted."""
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    def summary(self) -> str:
+        counts = self.counts()
+        if not self.diagnostics:
+            return "clean: no diagnostics"
+        return (f"{counts[ERROR]} error(s), {counts[WARNING]} warning(s), "
+                f"{counts[INFO]} info")
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)

@@ -1,0 +1,202 @@
+"""The lint engine: one tolerant scan, then every registered rule.
+
+:func:`lint_circuit` generalises :func:`repro.ir.validate.validate_compiled`
+from fail-fast exceptions to a full report.  The engine makes **one** pass
+over the circuit building a :class:`LintContext` — per-op ASAP cycle,
+the logical occupants each CPHASE touches under the tracked mapping, the
+executed-edge index, per-cycle activity — and each rule then reads those
+precomputed tables, so a full multi-rule lint stays ``O(ops)``.
+
+Unlike :class:`repro.ir.circuit.Circuit` construction, the scan is
+*tolerant*: out-of-range or duplicated qubit indices (a corrupted or
+hand-built document) mark the op as malformed and become diagnostics
+instead of crashes, which is what lets the linter report on circuits the
+strict constructors would refuse to build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Dict, FrozenSet, Iterable, List, Mapping as TypingMapping,
+                    Optional, Sequence, Tuple)
+
+from ..ir.circuit import Circuit
+from ..ir.gates import CPHASE, SWAP, Op, canonical_edge, canonical_edges
+from ..ir.mapping import Mapping
+from .diagnostics import Diagnostic, LintReport
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class OpView:
+    """One op plus everything the scan learned about it."""
+
+    index: int
+    op: Op
+    #: ASAP cycle the op lands in (unit-duration schedule, as
+    #: :meth:`repro.ir.circuit.Circuit.depth` computes it).
+    cycle: int
+    #: Qubit indices outside ``[0, n_qubits)``.
+    out_of_range: Tuple[int, ...] = ()
+    #: Qubit indices the op names more than once.
+    duplicated: Tuple[int, ...] = ()
+    #: Logical occupants ``(lu, lv)`` of a CPHASE's physical qubits at
+    #: the moment the gate runs; ``None`` entries are spare qubits.
+    logical: Optional[Tuple[Optional[int], Optional[int]]] = None
+    #: Canonical logical edge, when both occupants exist.
+    logical_edge: Optional[Edge] = None
+
+    @property
+    def malformed(self) -> bool:
+        return bool(self.out_of_range or self.duplicated)
+
+
+@dataclass
+class LintContext:
+    """Precomputed circuit state shared by every rule."""
+
+    circuit: Circuit
+    hardware: FrozenSet[Edge]
+    problem_edges: FrozenSet[Edge]
+    initial_mapping: Mapping
+    allow_repeats: bool = False
+    require_all_edges: bool = True
+    #: Recorded metrics (``depth``/``cx``/``swaps``/``ops``) to cross-check
+    #: against recomputation — the batch/serialisation accounting rule.
+    expected: Optional[TypingMapping[str, float]] = None
+    views: List[OpView] = field(default_factory=list)
+    #: Problem-or-not logical edge -> op indices of the CPHASEs that
+    #: implemented it, in program order.
+    executed: Dict[Edge, List[int]] = field(default_factory=dict)
+    final_mapping: Optional[Mapping] = None
+    n_cycles: int = 0
+    #: Number of distinct in-range qubits busy in each cycle.
+    cycle_active: List[int] = field(default_factory=list)
+
+    @property
+    def has_malformed(self) -> bool:
+        return any(view.malformed for view in self.views)
+
+    def executed_problem_edges(self) -> FrozenSet[Edge]:
+        return frozenset(edge for edge in self.executed
+                         if edge in self.problem_edges)
+
+
+def build_context(
+    circuit: Circuit,
+    coupling_edges: Iterable[Edge],
+    initial_mapping: Mapping,
+    problem_edges: Iterable[Edge],
+    allow_repeats: bool = False,
+    require_all_edges: bool = True,
+    expected: Optional[TypingMapping[str, float]] = None,
+) -> LintContext:
+    """One tolerant scan of ``circuit`` into a :class:`LintContext`."""
+    context = LintContext(
+        circuit=circuit,
+        hardware=canonical_edges(coupling_edges),
+        problem_edges=canonical_edges(problem_edges),
+        initial_mapping=initial_mapping,
+        allow_repeats=allow_repeats,
+        require_all_edges=require_all_edges,
+        expected=expected,
+    )
+    n_qubits = circuit.n_qubits
+    mapping = initial_mapping.copy()
+    busy_until: Dict[int, int] = {}
+    cycle_active: List[int] = []
+
+    for index, op in enumerate(circuit.ops):
+        qubits = op.qubits
+        seen: List[int] = []
+        duplicated_list: List[int] = []
+        for q in qubits:
+            if q in seen:
+                duplicated_list.append(q)
+            else:
+                seen.append(q)
+        duplicated = tuple(duplicated_list)
+        out_of_range = tuple(q for q in seen if not 0 <= q < n_qubits)
+        start = max((busy_until.get(q, 0) for q in seen), default=0)
+        for q in seen:
+            busy_until[q] = start + 1
+        while len(cycle_active) <= start:
+            cycle_active.append(0)
+        cycle_active[start] += sum(1 for q in seen if 0 <= q < n_qubits)
+
+        logical: Optional[Tuple[Optional[int], Optional[int]]] = None
+        logical_edge: Optional[Edge] = None
+        well_formed_pair = (len(qubits) == 2 and not duplicated
+                            and not out_of_range)
+        if op.kind == CPHASE and well_formed_pair:
+            u, v = qubits
+            lu, lv = mapping.logical(u), mapping.logical(v)
+            logical = (lu, lv)
+            if lu is not None and lv is not None:
+                logical_edge = canonical_edge(lu, lv)
+                context.executed.setdefault(logical_edge, []).append(index)
+        elif op.kind == SWAP and well_formed_pair:
+            mapping.swap_physical(*qubits)
+
+        context.views.append(OpView(
+            index=index, op=op, cycle=start,
+            out_of_range=out_of_range, duplicated=duplicated,
+            logical=logical, logical_edge=logical_edge))
+
+    context.final_mapping = mapping
+    context.n_cycles = len(cycle_active)
+    context.cycle_active = cycle_active
+    return context
+
+
+def lint_circuit(
+    circuit: Circuit,
+    coupling_edges: Iterable[Edge],
+    initial_mapping: Mapping,
+    problem_edges: Iterable[Edge],
+    allow_repeats: bool = False,
+    require_all_edges: bool = True,
+    expected: Optional[TypingMapping[str, float]] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run every registered (or selected) rule and collect all findings.
+
+    Parameters mirror :func:`repro.ir.validate.validate_compiled`, plus:
+
+    expected:
+        Recorded metrics (``depth``, ``cx``, ``swaps``, ``ops``) from a
+        serialized result or batch record; rule RL021 cross-checks them
+        against recomputation.
+    select / ignore:
+        Rule codes to run exclusively / to skip.  Unknown codes raise
+        ``ValueError`` naming the registered set.
+    """
+    from .rules import resolve_rules
+
+    context = build_context(
+        circuit, coupling_edges, initial_mapping, problem_edges,
+        allow_repeats=allow_repeats, require_all_edges=require_all_edges,
+        expected=expected)
+    diagnostics: List[Diagnostic] = []
+    for rule in resolve_rules(select=select, ignore=ignore):
+        diagnostics.extend(rule.check(context))
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return LintReport(diagnostics=diagnostics)
+
+
+def lint_result(result: object, coupling: object, problem: object,
+                **kwargs: object) -> LintReport:
+    """Lint a :class:`repro.compiler.result.CompiledResult`.
+
+    Accepts the same keyword arguments as :func:`lint_circuit`; the
+    circuit and initial mapping come from ``result``, the hardware and
+    problem edges from ``coupling``/``problem``.
+    """
+    return lint_circuit(
+        result.circuit,            # type: ignore[attr-defined]
+        coupling.edges,            # type: ignore[attr-defined]
+        result.initial_mapping,    # type: ignore[attr-defined]
+        problem.edges,             # type: ignore[attr-defined]
+        **kwargs)                  # type: ignore[arg-type]

@@ -20,6 +20,7 @@ from .base import Pass, PassObserver, Pipeline
 from .baseline import BaselinePass
 from .context import CompilationContext
 from .greedy import GreedyPass
+from .lint import LintPass
 from .placement import PatternPass, PlacementPass
 from .prediction import CandidatePass, PredictionPass, sample_snapshots
 from .presets import PAPER_KNOBS, PRESETS, build_context, build_pipeline
@@ -40,6 +41,7 @@ __all__ = [
     "CandidatePass",
     "SelectionPass",
     "ValidatePass",
+    "LintPass",
     "BaselinePass",
     "sample_snapshots",
     "PAPER_KNOBS",

@@ -40,6 +40,7 @@ PAPER_KNOBS: Dict[str, object] = {
     "pattern": None,
     "greedy_cycle_cap": None,
     "unify_swaps": True,
+    "allow_repeats": False,
 }
 
 #: Pass factories per method, in execution order.
@@ -85,17 +86,27 @@ def build_pipeline(
     method: str,
     on_pass_end: Optional[PassObserver] = None,
     validate: bool = False,
+    lint: bool = False,
 ) -> Pipeline:
     """Instantiate the preset pipeline for ``method``.
 
     ``validate=True`` appends a :class:`ValidatePass`, turning semantic
-    violations into in-pipeline failures.
+    violations into in-pipeline failures.  ``lint=True`` appends a
+    :class:`~repro.pipeline.lint.LintPass`, which records the full
+    diagnostic report in ``extra["lint"]`` without failing (combine with
+    ``validate=True`` to both report and fail; the linter runs first so
+    the diagnostics survive the validator's exception path only when
+    passes are ordered that way — hence lint before validate).
     """
     if method not in PRESETS:
         raise ValueError(
             f"no pipeline preset for method {method!r}; "
             f"expected one of {tuple(PRESETS)}")
     passes = [factory() for factory in PRESETS[method]]
+    if lint:
+        from .lint import LintPass
+
+        passes.append(LintPass())
     if validate:
         passes.append(ValidatePass())
     return Pipeline(passes, name=method, on_pass_end=on_pass_end)

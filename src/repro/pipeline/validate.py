@@ -9,6 +9,8 @@ initial mapping.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..ir.validate import validate_compiled
 from .base import Pass
 from .context import CompilationContext
@@ -20,15 +22,36 @@ class ValidatePass(Pass):
     Reads ``circuit`` and ``mapping``; raises
     :class:`repro.exceptions.ValidationError` when the circuit uses a
     non-existent coupling, drops a problem gate, or applies one under the
-    wrong mapping.  Records the number of distinct problem edges the
-    validator replayed in ``extra["validated_edges"]`` on success.
+    wrong mapping.  ``allow_repeats`` (constructor argument, falling back
+    to the context's ``allow_repeats`` knob) admits clique-style patterns
+    that deliberately revisit pairs.
+
+    On success it records ``extra["validated_edges"]`` (backwards
+    compatible) plus ``extra["validate"]`` with everything
+    :func:`~repro.ir.validate.validate_compiled` computed: distinct edge
+    count, CPHASE/SWAP tallies and the final logical-to-physical layout.
     """
 
     name = "validate"
 
-    def run(self, context: CompilationContext):
+    def __init__(self, allow_repeats: Optional[bool] = None) -> None:
+        self.allow_repeats = allow_repeats
+
+    def run(self, context: CompilationContext) -> bool:
         context.require("circuit", "mapping")
+        allow_repeats = (self.allow_repeats
+                         if self.allow_repeats is not None
+                         else bool(context.knob("allow_repeats", False)))
         report = validate_compiled(context.circuit, context.coupling.edges,
-                                   context.mapping, context.problem.edges)
+                                   context.mapping, context.problem.edges,
+                                   allow_repeats=allow_repeats)
         context.extras["validated_edges"] = report.n_edges
+        context.extras["validate"] = {
+            "n_edges": report.n_edges,
+            "n_cphase": report.n_cphase,
+            "n_swap": report.n_swap,
+            "allow_repeats": allow_repeats,
+            "final_log_to_phys": list(report.final_mapping.log_to_phys)
+            if report.final_mapping is not None else None,
+        }
         return True

@@ -1,0 +1,90 @@
+"""Batch-engine lint integration: per-job payloads and aggregation."""
+
+from repro.batch import BatchJob, compile_many
+from repro.batch.engine import BatchReport, execute_job
+from repro.batch.jobs import JobResult
+from repro.compiler.result import CompiledResult
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Op
+from repro.ir.mapping import Mapping
+
+
+def job(**kwargs):
+    kwargs.setdefault("arch", "line")
+    kwargs.setdefault("n_qubits", 6)
+    return BatchJob(**kwargs)
+
+
+class TestExecuteJobLint:
+    def test_lint_payload_attached_on_success(self):
+        result = execute_job(job(lint=True))
+        assert result.ok
+        assert result.lint is not None
+        assert result.lint["version"] == 1
+        assert result.lint["ok"] is True
+        assert result.lint["counts"]["error"] == 0
+
+    def test_lint_off_by_default(self):
+        result = execute_job(job())
+        assert result.ok
+        assert result.lint is None
+
+    def test_lint_survives_validation_failure(self, monkeypatch):
+        # A compiler that drops a problem gate: lint reports RL013,
+        # and the payload must survive the validator then rejecting
+        # the circuit (lint runs first).
+        def broken_compiler(coupling, problem, **kwargs):
+            u, v = sorted(problem.edges)[0]
+            circuit = Circuit(coupling.n_qubits, [Op.cphase(u, v)])
+            return CompiledResult(circuit=circuit,
+                                  initial_mapping=Mapping.trivial(
+                                      coupling.n_qubits),
+                                  method="broken")
+
+        import repro.batch.jobs as jobs_module
+        monkeypatch.setattr(jobs_module, "resolve_compiler",
+                            lambda name: broken_compiler)
+        result = execute_job(job(lint=True, validate=True, density=0.5))
+        assert not result.ok
+        assert result.error_type == "ValidationError"
+        assert result.lint is not None
+        assert result.lint["ok"] is False
+        assert "RL013" in result.lint["by_rule"]
+
+
+class TestBatchAggregation:
+    def test_compile_many_serial_with_lint(self):
+        report = compile_many([job(lint=True, seed=s) for s in (0, 1)],
+                              executor="serial")
+        assert len(report.ok) == 2
+        totals = report.lint_totals()
+        assert totals["counts"].get("error", 0) == 0
+        assert report.lint_errors == 0
+        assert "lint: 0 error(s)" in report.summary()
+        payload = report.to_json()
+        assert payload["lint_totals"] == totals
+        assert all(j["lint"] is not None for j in payload["jobs"])
+
+    def test_summary_omits_lint_line_when_not_requested(self):
+        report = compile_many([job()], executor="serial")
+        assert "lint:" not in report.summary()
+
+    def test_lint_totals_arithmetic(self):
+        def fake(counts, by_rule):
+            return JobResult(job=job(), ok=True,
+                             lint={"counts": counts, "by_rule": by_rule})
+
+        report = BatchReport(
+            results=[
+                fake({"error": 2, "warning": 1}, {"RL001": 2, "RL020": 1}),
+                fake({"error": 1, "info": 3}, {"RL013": 1, "RL022": 3}),
+                JobResult(job=job(), ok=True),  # unlinted job ignored
+            ],
+            wall_time_s=0.0, workers=1, executor="serial")
+        totals = report.lint_totals()
+        assert totals["counts"] == {"error": 3, "info": 3, "warning": 1}
+        assert totals["by_rule"] == {"RL001": 2, "RL013": 1,
+                                     "RL020": 1, "RL022": 3}
+        assert report.lint_errors == 3
+        assert "lint: 3 error(s), 1 warning(s)" in report.summary()
+        assert "RL001x2" in report.summary()

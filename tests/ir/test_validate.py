@@ -93,6 +93,36 @@ def test_nontrivial_initial_mapping():
     assert report.executed_edges == {(0, 1)}
 
 
+def test_missing_edge_message_truncates_to_first_five():
+    # 10 missing edges on a 5-clique: the message samples the first 5.
+    edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+    c = Circuit(5, [])
+    line5 = [(i, i + 1) for i in range(4)]
+    with pytest.raises(ValidationError) as excinfo:
+        validate_compiled(c, line5, Mapping.trivial(5), edges)
+    message = str(excinfo.value)
+    assert "10 problem edges never executed" in message
+    assert "first few" in message
+    sample = message[message.index("["):]
+    assert sample.count("(") == 5  # exactly five edges shown
+    assert str(sorted(edges)[5]) not in message
+
+
+def test_report_records_final_mapping_and_tallies():
+    c = Circuit(3, [Op.swap(1, 2), Op.cphase(0, 1), Op.cphase(1, 2)])
+    report = validate_compiled(c, LINE3, Mapping.trivial(3),
+                               [(0, 2), (1, 2)])
+    assert report.n_cphase == 2
+    assert report.n_swap == 1
+    assert report.final_mapping.log_to_phys == [0, 2, 1]
+
+
+def test_spare_qubit_message_names_occupants():
+    c = Circuit(3, [Op.cphase(1, 2)])
+    with pytest.raises(ValidationError, match="logical occupants: 1, None"):
+        validate_compiled(c, LINE3, Mapping.trivial(2, 3), [(0, 1)])
+
+
 def test_swap_on_uncoupled_pair_rejected():
     c = Circuit(3, [Op.swap(0, 2)])
     with pytest.raises(ValidationError, match="uncoupled"):

@@ -1,0 +1,133 @@
+"""Regenerate the golden lint fixtures in this directory.
+
+Each fixture is a pair of committed JSON files — ``<name>.json`` (a
+serialized result or bare circuit document, ``repro.ir.serialize``
+format) and ``<name>.problem.json`` (the problem graph to lint against)
+— crafted so that exactly one rule family trips, at known op indices.
+``tests/lint/test_rules.py`` pins the expected codes and indices;
+``tests/test_cli.py`` feeds the same files through ``repro lint``.
+
+Run from the repository root after changing the serialization format::
+
+    PYTHONPATH=src python tests/lint/fixtures/generate.py
+"""
+
+import json
+import pathlib
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Op
+from repro.ir.mapping import Mapping
+from repro.ir.serialize import (FORMAT_VERSION, circuit_to_dict,
+                                mapping_to_dict)
+
+HERE = pathlib.Path(__file__).parent
+
+#: All fixtures assume ``--arch line`` (path coupling) of the circuit's
+#: width; 6 qubits unless stated otherwise.
+N = 6
+
+
+def result_doc(circuit, mapping, metrics=None):
+    doc = {
+        "version": FORMAT_VERSION,
+        "method": "fixture",
+        "wall_time_s": 0.0,
+        "circuit": circuit_to_dict(circuit),
+        "initial_mapping": mapping_to_dict(mapping),
+        "extra": {},
+    }
+    if metrics is not None:
+        doc["metrics"] = metrics
+    return doc
+
+
+def true_metrics(circuit):
+    return {"depth": circuit.depth(), "cx": circuit.cx_count(unify=True),
+            "swaps": circuit.swap_count, "ops": len(circuit)}
+
+
+def problem_doc(n_vertices, edges):
+    return {"version": FORMAT_VERSION, "name": "fixture",
+            "n_vertices": n_vertices,
+            "edges": sorted(list(e) for e in edges)}
+
+
+def unchecked_circuit_doc(n_qubits, ops):
+    """Bare circuit document that may be deliberately malformed."""
+    return circuit_to_dict(Circuit.from_ops_unchecked(n_qubits, ops))
+
+
+def write(name, target, problem):
+    (HERE / f"{name}.json").write_text(json.dumps(target, indent=1) + "\n")
+    (HERE / f"{name}.problem.json").write_text(
+        json.dumps(problem, indent=1) + "\n")
+
+
+def main():
+    # clean: two problem gates on coupled pairs, correct metrics.
+    circuit = Circuit(N, [Op.cphase(0, 1, 0.7, tag=(0, 1)),
+                          Op.cphase(1, 2, 0.7, tag=(1, 2))])
+    write("clean", result_doc(circuit, Mapping.trivial(N),
+                              true_metrics(circuit)),
+          problem_doc(N, [(0, 1), (1, 2)]))
+
+    # RL001: problem edge (0, 2) executed directly on an uncoupled pair.
+    write("rl001", unchecked_circuit_doc(N, [Op.cphase(0, 2)]),
+          problem_doc(N, [(0, 2)]))
+
+    # RL002: a SWAP naming the same qubit twice (corrupt producer).
+    write("rl002", unchecked_circuit_doc(N, [Op.swap(2, 2)]),
+          problem_doc(N, []))
+
+    # RL003: a gate outside the 6-qubit register.
+    write("rl003", unchecked_circuit_doc(N, [Op.h(7)]),
+          problem_doc(N, []))
+
+    # RL010: only 4 of 6 qubits are mapped; op#1 touches the spares.
+    circuit = Circuit(N, [Op.cphase(0, 1), Op.cphase(4, 5)])
+    write("rl010", result_doc(circuit, Mapping.trivial(4, N)),
+          problem_doc(4, [(0, 1)]))
+
+    # RL011: the executed pair (0, 1) is not a problem edge (also
+    # leaves (1, 2) missing -> RL013 rides along).
+    write("rl011", unchecked_circuit_doc(N, [Op.cphase(0, 1)]),
+          problem_doc(N, [(1, 2)]))
+
+    # RL012: the only problem edge executed twice.
+    write("rl012", unchecked_circuit_doc(
+        N, [Op.cphase(0, 1), Op.cphase(0, 1)]),
+        problem_doc(N, [(0, 1)]))
+
+    # RL013 (capped): an empty circuit against 13 problem edges ->
+    # 10 per-edge diagnostics plus one "...and 3 more" summary.
+    clique_edges = [(u, v) for u in range(N) for v in range(u + 1, N)]
+    write("rl013", unchecked_circuit_doc(N, []),
+          problem_doc(N, clique_edges[:13]))
+
+    # RL014: the tag says (1, 2) but the mapping tracks (0, 1).
+    write("rl014", unchecked_circuit_doc(
+        N, [Op.cphase(0, 1, tag=(1, 2))]),
+        problem_doc(N, [(0, 1)]))
+
+    # RL020 (warning, no errors): op#1 cancels op#0; the gate between
+    # the swapped qubits still implements its edge (swaps net out).
+    write("rl020", unchecked_circuit_doc(
+        N, [Op.swap(0, 1), Op.swap(0, 1), Op.cphase(0, 1)]),
+        problem_doc(N, [(0, 1)]))
+
+    # RL021 (warning, no errors): recorded depth drifted from the circuit.
+    circuit = Circuit(N, [Op.cphase(0, 1)])
+    metrics = true_metrics(circuit)
+    metrics["depth"] = 99
+    write("rl021", result_doc(circuit, Mapping.trivial(N), metrics),
+          problem_doc(N, [(0, 1)]))
+
+    # RL022 (info, no errors): ten serial cycles with 1 of 16 mapped
+    # qubits busy -> mean idle 15/16 > 85% over >= 8 cycles.
+    write("rl022", unchecked_circuit_doc(16, [Op.h(0)] * 10),
+          problem_doc(16, []))
+
+
+if __name__ == "__main__":
+    main()

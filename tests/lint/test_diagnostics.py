@@ -1,0 +1,67 @@
+"""Tests for the diagnostic record and report containers."""
+
+from repro.lint import Diagnostic, LintReport
+from repro.lint.diagnostics import ERROR, INFO, WARNING
+
+
+def diag(code="RL001", severity=ERROR, **kwargs):
+    return Diagnostic(code=code, severity=severity, rule="test-rule",
+                      message="msg", **kwargs)
+
+
+class TestDiagnostic:
+    def test_to_dict_is_plain_json(self):
+        d = diag(op_index=3, cycle=1, qubits=(0, 4), logical=(2, 5),
+                 hint="fix it")
+        payload = d.to_dict()
+        assert payload["code"] == "RL001"
+        assert payload["severity"] == "error"
+        assert payload["op_index"] == 3
+        assert payload["qubits"] == [0, 4]
+        assert payload["logical"] == [2, 5]
+        assert payload["hint"] == "fix it"
+        import json
+        json.dumps(payload)  # must serialise without custom encoders
+
+    def test_location_with_op(self):
+        assert diag(op_index=3, cycle=1,
+                    qubits=(0, 4)).location() == "op#3 cycle 1 qubits (0, 4)"
+
+    def test_location_circuit_level(self):
+        assert diag().location() == "circuit"
+
+    def test_sort_key_orders_by_op_then_severity(self):
+        first = diag(op_index=0, severity=INFO)
+        second = diag(op_index=1, severity=ERROR)
+        circuit_level = diag(severity=ERROR)
+        ordered = sorted([circuit_level, second, first],
+                         key=Diagnostic.sort_key)
+        assert ordered == [first, second, circuit_level]
+
+
+class TestLintReport:
+    def test_counts_and_partitions(self):
+        report = LintReport([diag(severity=ERROR), diag(severity=ERROR),
+                             diag(severity=WARNING), diag(severity=INFO)])
+        assert report.counts() == {"error": 2, "warning": 1, "info": 1}
+        assert len(report.errors) == 2
+        assert len(report.warnings) == 1
+        assert len(report.infos) == 1
+        assert len(report) == 4
+
+    def test_ok_means_no_errors(self):
+        assert LintReport([]).ok
+        assert LintReport([diag(severity=WARNING)]).ok
+        assert not LintReport([diag(severity=ERROR)]).ok
+
+    def test_by_rule_sorted(self):
+        report = LintReport([diag(code="RL013"), diag(code="RL001"),
+                             diag(code="RL013")])
+        assert report.by_rule() == {"RL001": 1, "RL013": 2}
+        assert list(report.by_rule()) == ["RL001", "RL013"]
+        assert report.codes() == ("RL001", "RL013")
+
+    def test_summary(self):
+        assert LintReport([]).summary() == "clean: no diagnostics"
+        report = LintReport([diag(severity=ERROR), diag(severity=WARNING)])
+        assert report.summary() == "1 error(s), 1 warning(s), 0 info"

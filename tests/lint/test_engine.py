@@ -1,0 +1,101 @@
+"""Tests for the tolerant scan (``build_context``) and ``lint_circuit``."""
+
+import pytest
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Op
+from repro.ir.mapping import Mapping
+from repro.lint import build_context, lint_circuit
+
+LINE6 = [(i, i + 1) for i in range(5)]
+
+
+def ctx(circuit, problem_edges, mapping=None, **kwargs):
+    return build_context(circuit, LINE6,
+                         mapping or Mapping.trivial(circuit.n_qubits),
+                         problem_edges, **kwargs)
+
+
+class TestBuildContext:
+    def test_cycles_match_circuit_depth(self):
+        circuit = Circuit(6, [Op.cphase(0, 1), Op.cphase(2, 3),
+                              Op.swap(1, 2), Op.cphase(0, 1)])
+        context = ctx(circuit, [(0, 1), (2, 3), (0, 2)])
+        assert context.n_cycles == circuit.depth()
+        cycles = [view.cycle for view in context.views]
+        assert cycles == [0, 0, 1, 2]
+
+    def test_mapping_tracked_through_swaps(self):
+        # swap(1, 2) moves logical 2 next to 0; the cphase then
+        # implements logical (0, 2) on physical (0, 1).
+        circuit = Circuit(6, [Op.swap(1, 2), Op.cphase(0, 1)])
+        context = ctx(circuit, [(0, 2)])
+        assert context.views[1].logical_edge == (0, 2)
+        assert context.executed == {(0, 2): [1]}
+        assert context.final_mapping.physical(2) == 1
+
+    def test_repeated_edge_indexed_in_program_order(self):
+        circuit = Circuit(6, [Op.cphase(0, 1), Op.cphase(2, 3),
+                              Op.cphase(0, 1)])
+        context = ctx(circuit, [(0, 1), (2, 3)])
+        assert context.executed[(0, 1)] == [0, 2]
+
+    def test_out_of_range_op_tolerated(self):
+        circuit = Circuit.from_ops_unchecked(6, [Op.h(7), Op.cphase(0, 1)])
+        context = ctx(circuit, [(0, 1)])
+        assert context.views[0].out_of_range == (7,)
+        assert context.views[0].malformed
+        assert context.has_malformed
+        # The well-formed op is still fully analysed.
+        assert context.views[1].logical_edge == (0, 1)
+
+    def test_duplicated_qubit_tolerated_and_mapping_preserved(self):
+        circuit = Circuit.from_ops_unchecked(
+            6, [Op.swap(2, 2), Op.cphase(1, 2)])
+        context = ctx(circuit, [(1, 2)])
+        assert context.views[0].duplicated == (2,)
+        # The corrupt SWAP must not scramble the tracked mapping.
+        assert context.views[1].logical_edge == (1, 2)
+
+    def test_spare_occupants_recorded(self):
+        circuit = Circuit(6, [Op.cphase(4, 5)])
+        context = ctx(circuit, [(0, 1)], mapping=Mapping.trivial(4, 6))
+        assert context.views[0].logical == (None, None)
+        assert context.views[0].logical_edge is None
+        assert context.executed == {}
+
+    def test_cycle_activity(self):
+        circuit = Circuit(6, [Op.cphase(0, 1), Op.cphase(2, 3)])
+        context = ctx(circuit, [(0, 1), (2, 3)])
+        assert context.cycle_active == [4]
+
+
+class TestLintCircuitSelection:
+    def setup_method(self):
+        # One RL001 error and one RL013 error.
+        self.circuit = Circuit(6, [Op.cphase(0, 2)])
+        self.args = (self.circuit, LINE6, Mapping.trivial(6),
+                     [(0, 2), (3, 4)])
+
+    def test_all_rules_by_default(self):
+        assert lint_circuit(*self.args).codes() == ("RL001", "RL013")
+
+    def test_select_restricts(self):
+        report = lint_circuit(*self.args, select=["RL013"])
+        assert report.codes() == ("RL013",)
+
+    def test_ignore_drops(self):
+        report = lint_circuit(*self.args, ignore=["RL013"])
+        assert report.codes() == ("RL001",)
+
+    def test_unknown_code_raises_listing_registry(self):
+        with pytest.raises(ValueError, match="RL999"):
+            lint_circuit(*self.args, select=["RL999"])
+        with pytest.raises(ValueError, match="RL001"):
+            lint_circuit(*self.args, ignore=["RL999"])
+
+    def test_diagnostics_sorted_by_op_index(self):
+        report = lint_circuit(*self.args)
+        indices = [d.op_index for d in report.diagnostics]
+        # op-level findings first, circuit-level (None) last
+        assert indices == [0, None]

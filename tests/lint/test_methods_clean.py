@@ -1,0 +1,35 @@
+"""Every registered method's output lints clean (ISSUE 3 acceptance).
+
+All nine methods — the three paper presets and the six baselines — must
+produce circuits with **zero error-severity diagnostics** on the four
+headline architectures.  Warnings and infos (RL02x quality findings)
+are allowed; a correct compiler may still schedule wastefully.
+"""
+
+import pytest
+
+from repro.arch import architecture_for
+from repro.lint import lint_result
+from repro.pipeline.registry import available_methods, get_method
+from repro.problems import random_problem_graph
+
+ARCHES = ("line", "grid", "sycamore", "heavyhex")
+N_LOGICAL = 8
+SEED = 7
+
+
+def test_registry_lists_the_nine_methods():
+    assert set(available_methods()) >= {
+        "hybrid", "greedy", "ata", "sabre", "qaim", "2qan",
+        "paulihedral", "olsq", "satmap"}
+
+
+@pytest.mark.parametrize("arch", ARCHES)
+@pytest.mark.parametrize("method", sorted(available_methods()))
+def test_method_lints_with_zero_errors(arch, method):
+    coupling = architecture_for(arch, N_LOGICAL)
+    problem = random_problem_graph(N_LOGICAL, 0.35, seed=SEED)
+    result = get_method(method).compile(coupling, problem)
+    report = lint_result(result, coupling, problem)
+    assert report.ok, (
+        f"{method} on {arch}: {[d.message for d in report.errors]}")

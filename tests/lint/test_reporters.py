@@ -1,0 +1,52 @@
+"""Tests for the text and JSON reporters."""
+
+import json
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Op
+from repro.ir.mapping import Mapping
+from repro.lint import (JSON_SCHEMA_VERSION, lint_circuit, render_json,
+                        render_text)
+
+LINE6 = [(i, i + 1) for i in range(5)]
+
+
+def sample_report():
+    # RL001 at op#0 plus a missing edge (RL013).
+    circuit = Circuit(6, [Op.cphase(0, 2)])
+    return lint_circuit(circuit, LINE6, Mapping.trivial(6),
+                        [(0, 2), (3, 4)])
+
+
+class TestRenderText:
+    def test_header_and_one_line_per_diagnostic(self):
+        text = render_text(sample_report(), source="fixture.json")
+        lines = text.splitlines()
+        assert lines[0] == "fixture.json: 2 error(s), 0 warning(s), 0 info"
+        assert lines[1].startswith("  RL001 error   op#0")
+        assert any(line.startswith("        hint: ") for line in lines)
+
+    def test_clean_report(self):
+        circuit = Circuit(6, [Op.cphase(0, 1)])
+        report = lint_circuit(circuit, LINE6, Mapping.trivial(6), [(0, 1)])
+        assert render_text(report) == "clean: no diagnostics"
+
+
+class TestRenderJson:
+    def test_schema(self):
+        payload = render_json(sample_report(), source="fixture.json")
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["ok"] is False
+        assert payload["counts"] == {"error": 2, "warning": 0, "info": 0}
+        assert payload["by_rule"] == {"RL001": 1, "RL013": 1}
+        assert payload["truncated"] == 0
+        assert payload["source"] == "fixture.json"
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert codes == ["RL001", "RL013"]
+        json.dumps(payload)  # plain JSON end to end
+
+    def test_truncation_keeps_counts_exact(self):
+        payload = render_json(sample_report(), max_diagnostics=1)
+        assert len(payload["diagnostics"]) == 1
+        assert payload["truncated"] == 1
+        assert payload["counts"]["error"] == 2  # counts stay exact

@@ -1,0 +1,126 @@
+"""Tests for scripts/check_determinism.py (the CI determinism lint)."""
+
+import importlib.util
+import pathlib
+import textwrap
+
+import pytest
+
+SCRIPT = (pathlib.Path(__file__).parent.parent / "scripts"
+          / "check_determinism.py")
+
+spec = importlib.util.spec_from_file_location("check_determinism", SCRIPT)
+checker = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(checker)
+
+
+def findings(source):
+    return checker.check_source(textwrap.dedent(source), "mod.py")
+
+
+class TestFlagged:
+    def test_for_over_set_call(self):
+        assert findings("""
+            for x in set(items):
+                use(x)
+        """)
+
+    def test_for_over_set_literal_and_comprehension(self):
+        assert findings("for x in {1, 2}:\n    use(x)\n")
+        assert findings("for x in {q for q in items}:\n    use(x)\n")
+
+    def test_comprehension_over_set(self):
+        assert findings("out = [f(x) for x in frozenset(items)]\n")
+
+    def test_name_assigned_a_set(self):
+        assert findings("""
+            pending = set(edges)
+            for e in pending:
+                use(e)
+        """)
+
+    def test_set_algebra_result(self):
+        assert findings("""
+            remaining = set(a) - set(b)
+            for e in remaining:
+                use(e)
+        """)
+
+    def test_dict_keys_call(self):
+        assert findings("for k in d.keys():\n    use(k)\n")
+
+
+class TestClean:
+    def test_sorted_wrapping(self):
+        assert not findings("for x in sorted(set(items)):\n    use(x)\n")
+
+    def test_plain_dict_iteration(self):
+        assert not findings("for k in d:\n    use(k)\n")
+
+    def test_list_iteration(self):
+        assert not findings("""
+            items = list(things)
+            for x in items:
+                use(x)
+        """)
+
+    def test_reassignment_clears_set_taint(self):
+        assert not findings("""
+            pending = set(edges)
+            pending = sorted(pending)
+            for e in pending:
+                use(e)
+        """)
+
+    def test_set_comprehension_target_not_flagged(self):
+        # Building a set from a set never observes iteration order.
+        assert not findings("out = {f(x) for x in set(items)}\n")
+
+    def test_function_scope_does_not_leak(self):
+        assert not findings("""
+            def inner():
+                pending = set(edges)
+
+            def outer():
+                pending = list(edges)
+                for e in pending:
+                    use(e)
+        """)
+
+    def test_suppression_comment(self):
+        assert not findings("""
+            for x in set(items):  # det: ok
+                use(x)
+        """)
+
+
+class TestMain:
+    def test_repo_hot_paths_are_clean(self):
+        # The CI gate: the compiler hot paths must stay finding-free.
+        assert checker.main([]) == 0
+
+    def test_exit_1_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("for x in set(items):\n    use(x)\n")
+        assert checker.main([str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "bad.py:1" in captured.out
+        assert "1 nondeterministic-iteration finding(s)" in captured.err
+
+    def test_exit_2_on_missing_path(self, capsys):
+        assert checker.main(["no/such/dir"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_syntax_error_reported_as_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        assert checker.main([str(bad)]) == 1
+
+
+@pytest.mark.parametrize("snippet", [
+    "x = sorted(set(items))\n",
+    "n = len(set(items))\n",
+    "total = sum(set(values))\n",
+])
+def test_order_insensitive_consumers_not_flagged(snippet):
+    assert not findings(snippet)

@@ -138,6 +138,114 @@ class TestBatch:
         assert "cache" in out
 
 
+FIXTURES = "tests/lint/fixtures"
+
+
+class TestLint:
+    """``repro lint`` exit codes (0/1/2) and reporter output."""
+
+    def test_clean_file_exits_0(self, capsys):
+        code, out = run_cli(capsys, [
+            "lint", f"{FIXTURES}/clean.json", "--arch", "line",
+            "--problem", f"{FIXTURES}/clean.problem.json"])
+        assert code == 0
+        assert "clean: no diagnostics" in out
+
+    def test_errors_exit_1_with_code_and_location(self, capsys):
+        code, out = run_cli(capsys, [
+            "lint", f"{FIXTURES}/rl001.json", "--arch", "line",
+            "--problem", f"{FIXTURES}/rl001.problem.json"])
+        assert code == 1
+        assert "RL001" in out
+        assert "op#0" in out
+        assert "hint:" in out
+
+    def test_warnings_exit_0_unless_strict(self, capsys):
+        argv = ["lint", f"{FIXTURES}/rl020.json", "--arch", "line",
+                "--problem", f"{FIXTURES}/rl020.problem.json"]
+        code, out = run_cli(capsys, argv)
+        assert code == 0
+        assert "RL020" in out
+        code, _ = run_cli(capsys, argv + ["--strict"])
+        assert code == 1
+
+    def test_ignore_drops_the_error(self, capsys):
+        code, _ = run_cli(capsys, [
+            "lint", f"{FIXTURES}/rl001.json", "--arch", "line",
+            "--problem", f"{FIXTURES}/rl001.problem.json",
+            "--ignore", "RL001"])
+        assert code == 0
+
+    def test_regenerated_problem_from_flags(self, capsys):
+        # No --problem: the empty-ops fixture misses every regenerated
+        # clique edge, so RL013 errors out.
+        code, out = run_cli(capsys, [
+            "lint", f"{FIXTURES}/rl013.json", "--arch", "line",
+            "--qubits", "6", "--workload", "clique"])
+        assert code == 1
+        assert "RL013" in out
+
+    def test_missing_problem_and_qubits_exits_2(self, capsys):
+        code = main(["lint", f"{FIXTURES}/clean.json", "--arch", "line"])
+        assert code == 2
+        assert "--problem" in capsys.readouterr().err
+
+    def test_unknown_rule_code_exits_2(self, capsys):
+        code = main(["lint", f"{FIXTURES}/clean.json", "--arch", "line",
+                     "--qubits", "6", "--select", "RL999"])
+        assert code == 2
+        assert "RL999" in capsys.readouterr().err
+
+    def test_unreadable_file_exits_2(self, capsys):
+        code = main(["lint", "no-such-file.json", "--arch", "line",
+                     "--qubits", "6"])
+        assert code == 2
+        assert "no-such-file.json" in capsys.readouterr().err
+
+    def test_json_reporter_schema(self, capsys):
+        import json
+        code, out = run_cli(capsys, [
+            "lint", f"{FIXTURES}/rl001.json", f"{FIXTURES}/rl012.json",
+            "--arch", "line",
+            "--problem", f"{FIXTURES}/rl001.problem.json",
+            "--format", "json"])
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["version"] == 1
+        assert payload["totals"]["error"] >= 1
+        assert len(payload["files"]) == 2
+        first = payload["files"][0]
+        assert first["source"].endswith("rl001.json")
+        assert first["by_rule"] == {"RL001": 1}
+        diagnostic = first["diagnostics"][0]
+        assert set(diagnostic) == {"code", "severity", "rule", "message",
+                                   "op_index", "cycle", "qubits", "logical",
+                                   "hint"}
+
+    def test_qasm_input(self, capsys, tmp_path):
+        # QASM carries no initial mapping, so the linter assumes the
+        # trivial one; a hand-laid-out circuit lints clean through it.
+        target = tmp_path / "c.qasm"
+        target.write_text(
+            "OPENQASM 2.0;\n"
+            'include "qelib1.inc";\n'
+            "qreg q[6];\n"
+            "cu1(0.7) q[0],q[1];\n"
+            "cu1(0.7) q[1],q[2];\n")
+        code, out = run_cli(capsys, [
+            "lint", str(target), "--arch", "line",
+            "--problem", f"{FIXTURES}/clean.problem.json"])
+        assert code == 0, out
+        assert "clean: no diagnostics" in out
+
+    def test_batch_lint_flag_aggregates(self, capsys):
+        code, out = run_cli(capsys, ["batch", "--arch", "line",
+                                     "--qubits", "6", "--count", "2",
+                                     "--serial", "--lint"])
+        assert code == 0
+        assert "lint: 0 error(s)" in out
+
+
 class TestOtherCommands:
     def test_compare(self, capsys):
         code, out = run_cli(capsys, ["compare", "--arch", "grid",
