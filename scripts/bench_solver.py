@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Benchmark the depth-optimal solver against its frozen baseline.
+
+Times :func:`repro.solver.solve_depth_optimal` (the rewritten A* engine)
+and :func:`repro.solver.solve_depth_optimal_reference` (the pre-refactor
+implementation) on the paper's discovery instances — the 1x6 line, the
+2x4 grid and a 7-qubit Sycamore fragment (Section 3: the sizes the
+authors could still solve exactly while looking for structured patterns)
+— and writes ``BENCH_solver.json`` at the repository root.
+
+The run **fails** (exit 1) when any instance's depths disagree or when
+the node-expansion speedup on the grid instance drops below 3x (the
+ISSUE 4 acceptance bar; the engine currently clears it by two orders of
+magnitude).
+
+Usage::
+
+    python scripts/bench_solver.py            # full instances (~4 min,
+                                              # dominated by the baseline)
+    python scripts/bench_solver.py --smoke    # CI-sized instances (~2 s)
+    python scripts/bench_solver.py --output /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.arch import grid, line  # noqa: E402
+from repro.arch.coupling import CouplingGraph  # noqa: E402
+from repro.arch.sycamore import sycamore  # noqa: E402
+from repro.problems import biclique, clique  # noqa: E402
+from repro.solver import (solve_depth_optimal,  # noqa: E402
+                          solve_depth_optimal_reference)
+
+#: Node-expansion speedup the grid instance must clear (ISSUE 4).
+GRID_SPEEDUP_THRESHOLD = 3.0
+
+
+def sycamore_fragment_7q() -> CouplingGraph:
+    """The connected 7-qubit fragment of the 2x4 Sycamore tile.
+
+    Dropping qubit 4 from :func:`sycamore(2, 4)` (and relabelling the
+    rest contiguously) keeps every remaining qubit connected — dropping
+    qubit 7 instead would isolate qubit 3.
+    """
+    tile = sycamore(2, 4)
+    keep = [0, 1, 2, 3, 5, 6, 7]
+    relabel = {phys: index for index, phys in enumerate(keep)}
+    edges = sorted((relabel[u], relabel[v]) for u, v in tile.edges
+                   if u in relabel and v in relabel)
+    return CouplingGraph(7, edges, name="sycamore-7q", kind="sycamore")
+
+
+def instances(smoke: bool):
+    """(name, coupling, problem) triples; smoke mode shrinks each family
+    one notch so the baseline finishes in CI time."""
+    if smoke:
+        return [
+            ("line-1x5/clique-5", line(5), clique(5)),
+            ("grid-2x3/biclique-3x3", grid(2, 3), biclique(3, 3)),
+            ("sycamore-7q/clique-4", sycamore_fragment_7q(), clique(4)),
+        ]
+    return [
+        ("line-1x6/clique-6", line(6), clique(6)),
+        ("grid-2x4/biclique-4x4", grid(2, 4), biclique(4, 4)),
+        ("sycamore-7q/clique-5", sycamore_fragment_7q(), clique(5)),
+    ]
+
+
+def bench_instance(name, coupling, problem, max_nodes):
+    t0 = time.perf_counter()
+    fast = solve_depth_optimal(coupling, problem.edges, max_nodes=max_nodes)
+    fast_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    ref = solve_depth_optimal_reference(coupling, problem.edges,
+                                        max_nodes=max_nodes)
+    ref_s = time.perf_counter() - t0
+
+    row = {
+        "name": name,
+        "arch": coupling.name,
+        "problem": problem.name,
+        "depth": fast.depth,
+        "depth_reference": ref.depth,
+        "swaps": fast.circuit.swap_count,
+        "nodes": fast.stats.nodes_expanded,
+        "nodes_reference": ref.stats.nodes_expanded,
+        "speedup_nodes": round(
+            ref.stats.nodes_expanded / max(1, fast.stats.nodes_expanded), 2),
+        "wall_s": round(fast_s, 4),
+        "wall_reference_s": round(ref_s, 4),
+        "speedup_wall": round(ref_s / max(1e-9, fast_s), 2),
+        "stats": fast.stats.as_dict(),
+    }
+    print(f"{name:28s} depth={row['depth']} "
+          f"nodes={row['nodes']} (ref {row['nodes_reference']}, "
+          f"{row['speedup_nodes']}x) "
+          f"wall={row['wall_s']}s (ref {row['wall_reference_s']}s, "
+          f"{row['speedup_wall']}x)", flush=True)
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized instances (seconds, not minutes)")
+    parser.add_argument("--max-nodes", type=int, default=2_000_000,
+                        help="per-run node-expansion budget")
+    parser.add_argument("--output", default=str(REPO_ROOT /
+                                                "BENCH_solver.json"),
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    rows = [bench_instance(name, coupling, problem, args.max_nodes)
+            for name, coupling, problem in instances(args.smoke)]
+
+    failures = []
+    for row in rows:
+        if row["depth"] != row["depth_reference"]:
+            failures.append(
+                f"{row['name']}: depth {row['depth']} != reference "
+                f"{row['depth_reference']}")
+    grid_rows = [row for row in rows if row["name"].startswith("grid-")]
+    grid_speedup = min(row["speedup_nodes"] for row in grid_rows)
+    if grid_speedup < GRID_SPEEDUP_THRESHOLD:
+        failures.append(
+            f"grid node-expansion speedup {grid_speedup}x is below the "
+            f"{GRID_SPEEDUP_THRESHOLD}x acceptance bar")
+
+    report = {
+        "generated_by": "scripts/bench_solver.py",
+        "mode": "smoke" if args.smoke else "full",
+        "instances": rows,
+        "acceptance": {
+            "grid_speedup_nodes": grid_speedup,
+            "threshold": GRID_SPEEDUP_THRESHOLD,
+            "depths_match": all(
+                row["depth"] == row["depth_reference"] for row in rows),
+            "ok": not failures,
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n",
+                                 encoding="utf-8")
+    print(f"report written to {args.output}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,8 @@ the same circuit on every run and every machine.  Iterating a ``set`` /
 ``frozenset`` (or ``dict.keys()`` pulled out explicitly, usually a tell
 that the author was thinking in sets) makes gate and SWAP choice depend
 on hash-iteration order, which is not a stable contract.  This script
-walks the compiler hot paths (``compiler/``, ``ata/``, ``pipeline/`` by
-default) and flags:
+walks the compiler hot paths (``compiler/``, ``ata/``, ``pipeline/``,
+``solver/`` by default) and flags:
 
 * ``for x in set(...)`` / ``frozenset(...)`` / a set literal or set
   comprehension, in statements and comprehensions;
@@ -35,7 +35,7 @@ from typing import Iterable, Iterator, List, Set, Tuple
 
 #: Directories scanned when none are given (relative to the repo root).
 DEFAULT_HOT_PATHS = ("src/repro/compiler", "src/repro/ata",
-                     "src/repro/pipeline")
+                     "src/repro/pipeline", "src/repro/solver")
 
 #: Calls whose result iterates in hash order.
 SET_CONSTRUCTORS = {"set", "frozenset"}

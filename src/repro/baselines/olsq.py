@@ -20,8 +20,9 @@ from ..compiler.result import CompiledResult
 from ..exceptions import SolverError
 from ..ir.mapping import Mapping
 from ..problems.graphs import ProblemGraph
-from ..solver.astar import (_candidate_actions, _conflict_free_subsets, _h,
-                            _invert, solve_depth_optimal)
+from ..solver.astar import solve_depth_optimal
+from ..solver.reference import (_candidate_actions, _conflict_free_subsets,
+                                _h, _invert)
 from ..ir.circuit import Circuit
 from ..ir.gates import Op, canonical_edge
 

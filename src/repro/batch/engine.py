@@ -29,11 +29,12 @@ import os
 import signal
 import threading
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from .._telemetry import cache_delta, cache_info
+from .._telemetry import cache_delta, cache_info, count_event
 from .jobs import BatchJob, JobResult
 
 EXECUTORS = ("process", "thread", "serial")
@@ -52,6 +53,49 @@ def _alarm_supported() -> bool:
             and threading.current_thread() is threading.main_thread())
 
 
+#: Process-local: the degraded-timeout warning fires at most once.
+_timeout_warning_emitted = False
+
+
+def _note_timeout_unavailable() -> None:
+    """A requested per-job timeout cannot be enforced here.
+
+    Counted per affected job in telemetry (``batch.timeout_unavailable``,
+    the number of jobs that ran unprotected); warned once per process so a
+    large batch does not spam.  ``BatchReport.summary()`` also carries a
+    note whenever its batch degraded.
+    """
+    global _timeout_warning_emitted
+    count_event("batch.timeout_unavailable")
+    if not _timeout_warning_emitted:
+        _timeout_warning_emitted = True
+        warnings.warn(
+            "per-job timeout requested but SIGALRM is unavailable on this "
+            "thread/platform; jobs will run unbounded",
+            RuntimeWarning, stacklevel=3)
+
+
+#: Process-local: heavy third-party imports are warmed once per process.
+_imports_warmed = False
+
+
+def _warm_heavy_imports() -> None:
+    """Import lazily-loaded heavy dependencies before arming SIGALRM.
+
+    A ``JobTimeout`` raised while a module is mid-execution removes the
+    half-initialised module from ``sys.modules``; the next job re-executes
+    it from scratch, tripping import-time registries (networkx's backend
+    dispatch raises ``KeyError: Algorithm already exists``) and poisoning
+    every later job in the process.  Paying the import cost up front keeps
+    alarm deliveries out of import machinery entirely.
+    """
+    global _imports_warmed
+    if _imports_warmed:
+        return
+    import networkx  # noqa: F401  (lazily imported by problems/arch/compiler)
+    _imports_warmed = True
+
+
 class _deadline:
     """Context manager arming SIGALRM for ``seconds`` (no-op if unusable)."""
 
@@ -60,13 +104,23 @@ class _deadline:
         self.armed = False
 
     def __enter__(self):
-        if self.seconds and self.seconds > 0 and _alarm_supported():
-            def _on_alarm(signum, frame):
-                raise JobTimeout(
-                    f"job exceeded the per-job timeout of {self.seconds}s")
-            self._previous = signal.signal(signal.SIGALRM, _on_alarm)
-            signal.setitimer(signal.ITIMER_REAL, self.seconds)
-            self.armed = True
+        if self.seconds and self.seconds > 0:
+            if _alarm_supported():
+                _warm_heavy_imports()
+                def _on_alarm(signum, frame):
+                    raise JobTimeout(
+                        f"job exceeded the per-job timeout of "
+                        f"{self.seconds}s")
+                self._previous = signal.signal(signal.SIGALRM, _on_alarm)
+                # Re-fire until disarmed: a single delivery can land while
+                # the interpreter is inside a GC callback, where the raise
+                # is swallowed as an unraisable exception and the job
+                # would silently run to completion.
+                signal.setitimer(signal.ITIMER_REAL, self.seconds,
+                                 min(self.seconds, 0.05))
+                self.armed = True
+            else:
+                _note_timeout_unavailable()
         return self
 
     def __exit__(self, *exc):
@@ -216,6 +270,11 @@ class BatchReport:
                 f"lint: {totals['counts'].get('error', 0)} error(s), "
                 f"{totals['counts'].get('warning', 0)} warning(s)"
                 + (f" [{rules}]" if rules else ""))
+        if self.timeout_s and not self.timeout_enforced:
+            lines.append(
+                f"note: per-job timeout ({self.timeout_s:g}s) was NOT "
+                f"enforced (SIGALRM unavailable with this "
+                f"executor/platform)")
         return "\n".join(lines)
 
     def to_json(self) -> Dict:

@@ -8,6 +8,7 @@ Usage::
     python -m repro batch --arch grid,heavyhex --qubits 24 --count 8 --workers 4
     python -m repro lint out.json --arch grid --qubits 16 --density 0.3
     python -m repro clique --arch grid --qubits 25
+    python -m repro solve --arch line --qubits 6 --workload clique
     python -m repro info --arch heavyhex --qubits 64
 
 ``lint`` exit codes: 0 clean, 1 error-severity diagnostics found,
@@ -176,6 +177,32 @@ def build_parser() -> argparse.ArgumentParser:
     clique_p = sub.add_parser("clique",
                               help="compile the all-to-all special case")
     add_common(clique_p)
+
+    solve_p = sub.add_parser(
+        "solve", help="depth-optimal exact search (small instances)")
+    solve_p.add_argument("--arch", default="line", choices=_ARCH_CHOICES)
+    solve_p.add_argument("--qubits", type=_positive_int, default=4)
+    solve_p.add_argument("--seed", type=int, default=0)
+    solve_p.add_argument("--workload", default="clique",
+                         choices=["clique", "biclique", "rand", "reg"],
+                         help="biclique splits the qubits into two "
+                              "all-to-all-connected halves")
+    solve_p.add_argument("--density", type=_density, default=0.3)
+    solve_p.add_argument("--gamma", type=float, default=0.0)
+    solve_p.add_argument("--strategy", default="astar",
+                         choices=["astar", "idastar"],
+                         help="idastar bounds memory to the path depth")
+    solve_p.add_argument("--minimize-swaps", action="store_true",
+                         help="among depth-optimal schedules, return one "
+                              "with the fewest SWAPs (slower)")
+    solve_p.add_argument("--no-heuristic", action="store_true",
+                         help="degrade to uniform-cost search (debugging)")
+    solve_p.add_argument("--max-nodes", type=_positive_int, default=500_000,
+                         help="node-expansion budget before giving up")
+    solve_p.add_argument("--qasm", metavar="FILE",
+                         help="write the optimal circuit as OpenQASM 2.0")
+    solve_p.add_argument("--json", metavar="FILE",
+                         help="write depth + solver counters as JSON")
 
     info_p = sub.add_parser("info", help="describe an architecture")
     add_common(info_p)
@@ -394,6 +421,73 @@ def _cmd_clique(args) -> int:
     return 0
 
 
+def _solve_problem(args):
+    """The problem graph a ``solve`` run schedules."""
+    from .problems import biclique, regular_for_density
+
+    if args.workload == "clique":
+        return clique(args.qubits)
+    if args.workload == "biclique":
+        half = args.qubits // 2
+        return biclique(args.qubits - half, half)
+    if args.workload == "reg":
+        return regular_for_density(args.qubits, args.density, seed=args.seed)
+    return random_problem_graph(args.qubits, args.density, seed=args.seed)
+
+
+def _cmd_solve(args) -> int:
+    from .exceptions import SolverError
+    from .solver import solve_depth_optimal
+
+    coupling = architecture_for(args.arch, args.qubits)
+    problem = _solve_problem(args)
+    if problem.n_vertices > coupling.n_qubits:
+        print(f"error: problem has {problem.n_vertices} qubits but "
+              f"{coupling.name} has only {coupling.n_qubits}",
+              file=sys.stderr)
+        return 2
+    try:
+        result = solve_depth_optimal(
+            coupling, problem.edges, gamma=args.gamma,
+            max_nodes=args.max_nodes,
+            use_heuristic=not args.no_heuristic,
+            minimize_swaps=args.minimize_swaps,
+            strategy=args.strategy)
+    except SolverError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    stats = result.stats
+    print(f"problem:  {problem}")
+    print(f"device:   {coupling}")
+    print(f"depth:    {result.depth}")
+    print(f"swaps:    {result.circuit.swap_count}")
+    print(f"strategy: {stats.strategy}")
+    print(f"nodes:    {stats.nodes_expanded} expanded / "
+          f"{stats.nodes_generated} generated")
+    print(f"dedupe:   {stats.dedupe_hits} hits; "
+          f"open-list peak {stats.heap_peak}")
+    print(f"h evals:  {stats.heuristic_evals}")
+    print(f"time:     {stats.wall_time_s:.3f}s")
+    if args.qasm:
+        with open(args.qasm, "w") as handle:
+            handle.write(to_qasm(result.circuit,
+                                 comment=f"optimal {problem.name} on "
+                                         f"{coupling.name}"))
+        print(f"qasm written to {args.qasm}")
+    if args.json:
+        payload = {
+            "problem": problem.name,
+            "arch": coupling.name,
+            "depth": result.depth,
+            "swaps": result.circuit.swap_count,
+            **stats.as_dict(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"report written to {args.json}")
+    return 0
+
+
 def _cmd_info(args) -> int:
     coupling = architecture_for(args.arch, args.qubits)
     print(f"name:      {coupling.name}")
@@ -417,6 +511,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "lint": _cmd_lint,
     "clique": _cmd_clique,
+    "solve": _cmd_solve,
     "info": _cmd_info,
 }
 

@@ -191,10 +191,13 @@ def _forced_step(
 ) -> Tuple[int, int]:
     """Move the closest pending pair one step together (progress guarantee)."""
     dist = coupling.distance_matrix
+    # Tie-break equal distances by the pair itself: `remaining` is a set,
+    # so min() over the raw distance would pick whichever equally-close
+    # pair hash order surfaced first.
     best_pair = min(
         remaining,
-        key=lambda pair: int(dist[mapping.physical(pair[0]),
-                                  mapping.physical(pair[1])]))
+        key=lambda pair: (int(dist[mapping.physical(pair[0]),
+                                   mapping.physical(pair[1])]), pair))
     pu = mapping.physical(best_pair[0])
     pv = mapping.physical(best_pair[1])
     path = coupling.shortest_path(pu, pv)

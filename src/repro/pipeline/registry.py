@@ -32,7 +32,8 @@ class MethodSpec:
     """A registered compiler method."""
 
     name: str
-    #: ``"paper"`` (hybrid/greedy/ata presets) or ``"baseline"``.
+    #: ``"paper"`` (hybrid/greedy/ata presets), ``"baseline"``, or
+    #: ``"exact"`` (the depth-optimal solver — small instances only).
     kind: str
     runner: MethodRunner = field(repr=False)
     description: str = ""
@@ -127,6 +128,21 @@ def _baseline_runner(name: str, loader: Callable[[], Callable],
     return run
 
 
+def _solver_runner() -> MethodRunner:
+    def run(coupling, problem, noise, gamma, on_pass_end, options):
+        from .base import Pipeline
+        from .context import CompilationContext
+        from .solver import SolverPass
+
+        context = CompilationContext(
+            coupling=coupling, problem=problem, method="optimal",
+            noise=noise, gamma=gamma, knobs=dict(options))
+        pipeline = Pipeline([SolverPass()], name="optimal",
+                            on_pass_end=on_pass_end)
+        return pipeline.compile(context)
+    return run
+
+
 def _register_stock_methods() -> None:
     for method, description in (
         ("hybrid", "greedy + ATA-suffix candidates + cost-F selector "
@@ -163,6 +179,12 @@ def _register_stock_methods() -> None:
                        _baseline_runner(name, baseline(loader_name)),
                        description),
             aliases=aliases)
+
+    register_method(
+        MethodSpec("optimal", "exact", _solver_runner(),
+                   "depth-optimal A*/IDA* search "
+                   "(Section 4; small instances only)"),
+        aliases=("exact",))
 
 
 _register_stock_methods()

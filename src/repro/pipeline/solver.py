@@ -1,0 +1,57 @@
+"""Pipeline stage exposing the depth-optimal solver as a method.
+
+Registering :class:`SolverPass` behind the ``optimal`` method name (see
+:mod:`repro.pipeline.registry`) gives the Section 4 exact search the same
+envelope as every other compiler: it batch-compiles, shows up in
+``available_methods()``, and lands its search counters in
+``CompiledResult.extra["solver"]`` where sweep tables and the batch
+report can read them.
+
+The solver enumerates an exponential state space — it is intended for
+the paper's discovery-scale instances (≲ 8 qubits).  The ``max_nodes``
+knob turns a too-large instance into a clean :class:`SolverError` rather
+than an unbounded run.
+"""
+
+from __future__ import annotations
+
+from .base import Pass
+from .context import CompilationContext
+
+
+class SolverPass(Pass):
+    """Run the exact depth-optimal search end to end.
+
+    Reads the instance fields plus the knobs ``max_nodes``,
+    ``use_heuristic``, ``minimize_swaps``, ``strategy`` and
+    ``prune_unhelpful_swaps`` (defaults match
+    :func:`repro.solver.solve_depth_optimal`); writes ``context.circuit``,
+    ``context.mapping`` and ``extras["solver"]`` (the optimal depth plus
+    the run's :class:`~repro.solver.SolverStats` counters).
+    """
+
+    name = "solve"
+    stage = "solve"
+
+    def run(self, context: CompilationContext) -> bool:
+        from ..solver import solve_depth_optimal
+
+        result = solve_depth_optimal(
+            context.coupling,
+            context.problem.edges,
+            initial_mapping=context.mapping,
+            gamma=context.gamma,
+            max_nodes=int(context.knob("max_nodes", 500_000)),
+            prune_unhelpful_swaps=bool(
+                context.knob("prune_unhelpful_swaps", True)),
+            use_heuristic=bool(context.knob("use_heuristic", True)),
+            minimize_swaps=bool(context.knob("minimize_swaps", False)),
+            strategy=str(context.knob("strategy", "astar")),
+        )
+        context.circuit = result.circuit
+        context.mapping = result.initial_mapping
+        context.extras["solver"] = {
+            "depth": result.depth,
+            **result.stats.as_dict(),
+        }
+        return True

@@ -1,6 +1,6 @@
 """Problem graphs and applications (QAOA, 2-local Hamiltonian simulation)."""
 
-from .graphs import (ProblemGraph, clique, random_problem_graph,
+from .graphs import (ProblemGraph, biclique, clique, random_problem_graph,
                      regular_for_density, regular_problem_graph)
 from .hamiltonian import (hamiltonian_benchmarks, nnn_heisenberg_3d,
                           nnn_ising_1d, nnn_xy_2d)
@@ -9,6 +9,7 @@ from .suite import (random_suite, regular_suite, table4_instances)
 
 __all__ = [
     "ProblemGraph",
+    "biclique",
     "clique",
     "random_problem_graph",
     "regular_problem_graph",

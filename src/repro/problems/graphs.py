@@ -87,6 +87,15 @@ def clique(n_vertices: int) -> ProblemGraph:
     return ProblemGraph(n_vertices, edges, name=f"clique-{n_vertices}")
 
 
+def biclique(a: int, b: int) -> ProblemGraph:
+    """Complete bipartite graph ``K_{a,b}``: one gate between every
+    cross-side pair.  This is the workload the paper uses to discover the
+    row-exchange pattern on 2xN grids (Section 5), and the solver
+    benchmark's grid instance."""
+    edges = [(i, a + j) for i in range(a) for j in range(b)]
+    return ProblemGraph(a + b, edges, name=f"biclique-{a}x{b}")
+
+
 def random_problem_graph(n_vertices: int, density: float,
                          seed: int = 0) -> ProblemGraph:
     """Erdős–Rényi G(n, m) graph with ``m = density * n*(n-1)/2`` edges."""

@@ -1,6 +1,22 @@
-"""Depth-optimal A* solver for small instances (Section 4)."""
+"""Depth-optimal solver for small instances (Section 4).
 
-from .astar import SolverResult, solve_depth_optimal
+:func:`solve_depth_optimal` is the fast engine (A* / IDA* over bitmask
+states with an incremental heuristic — see :mod:`repro.solver.astar`);
+:func:`solve_depth_optimal_reference` is the frozen pre-refactor
+implementation kept as the benchmark baseline and cross-check oracle.
+"""
+
+from .astar import (STRATEGIES, SolverResult, SolverStats,
+                    solve_depth_optimal)
 from .heuristic import heuristic, pair_cost
+from .reference import solve_depth_optimal_reference
 
-__all__ = ["solve_depth_optimal", "SolverResult", "heuristic", "pair_cost"]
+__all__ = [
+    "solve_depth_optimal",
+    "solve_depth_optimal_reference",
+    "SolverResult",
+    "SolverStats",
+    "STRATEGIES",
+    "heuristic",
+    "pair_cost",
+]

@@ -116,6 +116,36 @@ class TestTimeout:
         result = execute_job(job, timeout_s=60.0)
         assert result.ok
 
+    def test_unenforceable_timeout_warns_once_and_counts(self, monkeypatch):
+        from repro._telemetry import clear_events, event_info
+        from repro.batch import engine
+
+        monkeypatch.setattr(engine, "_alarm_supported", lambda: False)
+        monkeypatch.setattr(engine, "_timeout_warning_emitted", False)
+        clear_events()
+        jobs = [BatchJob(arch="line", n_qubits=4, seed=seed)
+                for seed in (0, 1)]
+        with pytest.warns(RuntimeWarning, match="SIGALRM"):
+            report = compile_many(jobs, timeout_s=5.0, executor="serial")
+        assert not report.failures
+        assert not report.timeout_enforced
+        assert "NOT enforced" in report.summary()
+        # One telemetry event per unprotected job, one warning total.
+        assert event_info().get("batch.timeout_unavailable") == 2
+        import warnings
+
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            compile_many(jobs[:1], timeout_s=5.0, executor="serial")
+        assert not [w for w in captured
+                    if issubclass(w.category, RuntimeWarning)]
+
+    def test_enforced_timeout_emits_no_degradation_note(self):
+        job = BatchJob(arch="line", n_qubits=4)
+        report = compile_many([job], timeout_s=60.0, executor="serial")
+        if report.timeout_enforced:
+            assert "NOT enforced" not in report.summary()
+
 
 class TestHelpers:
     def test_jobs_for_cartesian_product(self):

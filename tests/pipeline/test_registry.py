@@ -85,6 +85,30 @@ class TestCompileThroughRegistry:
                                                               seed=1),
                                          bogus=1)
 
+    def test_optimal_method_carries_solver_telemetry(self):
+        from repro.problems import clique
+
+        coupling = line(4)
+        problem = clique(4)
+        result = get_method("optimal").compile(coupling, problem)
+        result.validate(coupling, problem)
+        assert result.method == "optimal"
+        solver = result.extra["solver"]
+        assert solver["depth"] == 6  # clique-4 on a line, provably minimal
+        assert solver["nodes_expanded"] > 0
+        assert solver["strategy"] == "astar"
+        assert result.extra["passes"][0]["name"] == "solve"
+
+    def test_optimal_method_forwards_knobs(self):
+        from repro.exceptions import SolverError
+        from repro.problems import clique
+
+        result = get_method("optimal").compile(
+            line(4), clique(4), strategy="idastar", minimize_swaps=True)
+        assert result.extra["solver"]["strategy"] == "idastar"
+        with pytest.raises(SolverError, match="node budget"):
+            get_method("optimal").compile(line(5), clique(5), max_nodes=3)
+
 
 class TestCustomRegistration:
     def test_one_registration_reaches_facade_and_batch(self):

@@ -44,6 +44,14 @@ class TestPairCost:
     def test_monotone_in_distance(self, di, dj, d):
         assert pair_cost(di, dj, d + 1) >= pair_cost(di, dj, d)
 
+    @given(st.integers(0, 40), st.integers(0, 40), st.integers(1, 60))
+    def test_closed_form_equals_the_original_scan(self, di, dj, d):
+        # The O(1) closed form must agree with the O(d) Definition-3
+        # minimisation it replaced (kept in the frozen reference solver).
+        from repro.solver.reference import _pair_cost_legacy
+
+        assert pair_cost(di, dj, d) == _pair_cost_legacy(di, dj, d)
+
 
 class TestHeuristic:
     def test_empty_remaining_is_zero(self):

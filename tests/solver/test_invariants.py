@@ -1,0 +1,93 @@
+"""The fast engine never changes the answer (ISSUE 4 satellite S4).
+
+Three independent searchers must return identical optimal depths on the
+paper's discovery-shaped instances:
+
+* the rewritten A* (incremental heuristic + gate-maximal cycles + spare
+  canonicalization),
+* the same engine degraded to uniform-cost search (``use_heuristic=
+  False`` — no heuristic to be wrong),
+* the frozen pre-refactor solver (:mod:`repro.solver.reference`), and
+* iterative-deepening A* (``strategy="idastar"``).
+
+``minimize_swaps=True`` must additionally preserve the lexicographic
+(depth, swaps) optimum of the reference implementation.
+"""
+
+import pytest
+
+from repro.arch import grid, line
+from repro.arch.coupling import CouplingGraph
+from repro.arch.sycamore import sycamore
+from repro.problems import biclique, clique, random_problem_graph
+from repro.solver import solve_depth_optimal, solve_depth_optimal_reference
+
+
+def sycamore_7q() -> CouplingGraph:
+    """Connected 7-qubit fragment of the 2x4 Sycamore tile (drop qubit 4)."""
+    tile = sycamore(2, 4)
+    keep = [0, 1, 2, 3, 5, 6, 7]
+    relabel = {phys: index for index, phys in enumerate(keep)}
+    edges = sorted((relabel[u], relabel[v]) for u, v in tile.edges
+                   if u in relabel and v in relabel)
+    return CouplingGraph(7, edges, name="sycamore-7q", kind="sycamore")
+
+
+INSTANCES = [
+    pytest.param("line4-clique4", line(4), clique(4), id="line4-clique4"),
+    pytest.param("line5-clique5", line(5), clique(5), id="line5-clique5"),
+    pytest.param("2x3-biclique", grid(2, 3), biclique(3, 3),
+                 id="2x3-biclique"),
+    pytest.param("syc7-clique4", sycamore_7q(), clique(4),
+                 id="syc7-clique4"),
+]
+
+
+@pytest.mark.parametrize("name,coupling,problem", INSTANCES)
+def test_astar_ucs_and_reference_agree(name, coupling, problem):
+    fast = solve_depth_optimal(coupling, problem.edges)
+    ucs = solve_depth_optimal(coupling, problem.edges, use_heuristic=False)
+    ref = solve_depth_optimal_reference(coupling, problem.edges)
+    assert fast.depth == ucs.depth == ref.depth
+    # The prunings must only ever *shrink* the search.
+    assert fast.stats.nodes_expanded <= ref.stats.nodes_expanded
+
+
+@pytest.mark.parametrize("name,coupling,problem", INSTANCES)
+def test_idastar_agrees_with_astar(name, coupling, problem):
+    fast = solve_depth_optimal(coupling, problem.edges)
+    ida = solve_depth_optimal(coupling, problem.edges, strategy="idastar")
+    assert ida.depth == fast.depth
+    assert ida.stats.strategy == "idastar"
+
+
+@pytest.mark.parametrize("name,coupling,problem", INSTANCES)
+def test_minimize_swaps_matches_reference(name, coupling, problem):
+    fast = solve_depth_optimal(coupling, problem.edges, minimize_swaps=True)
+    ref = solve_depth_optimal_reference(coupling, problem.edges,
+                                        minimize_swaps=True)
+    assert fast.depth == ref.depth
+    assert fast.circuit.swap_count == ref.circuit.swap_count
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_sparse_instances_agree(seed):
+    problem = random_problem_graph(5, 0.5, seed=seed)
+    coupling = grid(2, 3)
+    fast = solve_depth_optimal(coupling, problem.edges)
+    ref = solve_depth_optimal_reference(coupling, problem.edges)
+    ida = solve_depth_optimal(coupling, problem.edges, strategy="idastar")
+    assert fast.depth == ref.depth == ida.depth
+
+
+def test_solver_telemetry_counters_populated():
+    from repro._telemetry import clear_events, event_info
+
+    clear_events()
+    result = solve_depth_optimal(line(4), clique(4).edges)
+    events = event_info()
+    assert events.get("solver.runs") == 1
+    assert events.get("solver.nodes_expanded") == \
+        result.stats.nodes_expanded
+    assert result.stats.wall_time_s > 0
+    assert result.stats.heap_peak > 0

@@ -99,6 +99,11 @@ class TestMain:
         # The CI gate: the compiler hot paths must stay finding-free.
         assert checker.main([]) == 0
 
+    def test_solver_is_a_default_hot_path(self):
+        # The optimal solver's output is part of the determinism
+        # contract (ISSUE 4 satellite S1).
+        assert "src/repro/solver" in checker.DEFAULT_HOT_PATHS
+
     def test_exit_1_on_findings(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
         bad.write_text("for x in set(items):\n    use(x)\n")

@@ -246,6 +246,49 @@ class TestLint:
         assert "lint: 0 error(s)" in out
 
 
+class TestSolve:
+    def test_line_clique_reports_depth_and_counters(self, capsys):
+        code, out = run_cli(capsys, ["solve", "--arch", "line",
+                                     "--qubits", "4"])
+        assert code == 0
+        assert "depth:    6" in out  # clique-4 on a line is depth 6
+        assert "expanded" in out
+        assert "strategy: astar" in out
+
+    def test_idastar_strategy(self, capsys):
+        code, out = run_cli(capsys, ["solve", "--arch", "grid",
+                                     "--qubits", "6", "--workload",
+                                     "biclique", "--strategy", "idastar"])
+        assert code == 0
+        assert "depth:    5" in out
+        assert "strategy: idastar" in out
+
+    def test_json_report(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "solve.json"
+        code, out = run_cli(capsys, ["solve", "--arch", "line",
+                                     "--qubits", "4", "--json", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["depth"] == 6
+        assert payload["strategy"] == "astar"
+        assert payload["nodes_expanded"] > 0
+
+    def test_qasm_output(self, capsys, tmp_path):
+        path = tmp_path / "optimal.qasm"
+        code, _ = run_cli(capsys, ["solve", "--arch", "line",
+                                   "--qubits", "4", "--qasm", str(path)])
+        assert code == 0
+        assert "OPENQASM 2.0" in path.read_text()
+
+    def test_exhausted_budget_exits_1(self, capsys):
+        code = main(["solve", "--arch", "grid", "--qubits", "8",
+                     "--workload", "clique", "--max-nodes", "10"])
+        assert code == 1
+        assert "node budget" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_compare(self, capsys):
         code, out = run_cli(capsys, ["compare", "--arch", "grid",
