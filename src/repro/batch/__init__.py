@@ -5,7 +5,9 @@ the full pattern-generation and BFS-distance cost per instance when run
 serially.  This package provides:
 
 * :func:`compile_many` — fan :class:`BatchJob` specs out over a process
-  pool with per-job timeouts and graceful per-instance failure capture;
+  pool with per-job timeouts and graceful per-instance failure capture,
+  plus the resilience hooks (:mod:`repro.resilience`): retry policies,
+  crash-safe journaled resume, and worker-death pool restarts;
 * process-local memoization of distance matrices and ATA patterns
   (:mod:`repro.batch.cache`), with hit/miss counters surfaced both per
   job and aggregated in the :class:`BatchReport`;
@@ -14,9 +16,10 @@ serially.  This package provides:
 See ``docs/batch.md`` for the full reference.
 """
 
+from ..exceptions import JobTimeoutError
 from .cache import cache_delta, cache_info, clear_caches
 from .engine import (BatchReport, JobTimeout, compile_many, default_workers,
-                     execute_job, jobs_for)
+                     execute_job, jobs_for, reset_timeout_warning)
 from .jobs import METHODS, WORKLOADS, BatchJob, JobResult, resolve_compiler
 
 __all__ = [
@@ -24,6 +27,8 @@ __all__ = [
     "JobResult",
     "BatchReport",
     "JobTimeout",
+    "JobTimeoutError",
+    "reset_timeout_warning",
     "compile_many",
     "execute_job",
     "jobs_for",

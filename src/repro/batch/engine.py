@@ -1,6 +1,6 @@
 """The batch compilation engine: ``compile_many`` over a process pool.
 
-Design (ISSUE 1 tentpole):
+Design (ISSUE 1 tentpole, hardened by the ISSUE 5 resilience layer):
 
 * **Fan-out** — jobs are picklable :class:`BatchJob` specs; workers
   rebuild each instance locally, so the process-local distance-matrix and
@@ -17,6 +17,19 @@ Design (ISSUE 1 tentpole):
   compilation error, validation failure, timeout) becomes a structured
   :class:`JobResult` with the exception type and message; the remaining
   jobs are unaffected.
+* **Retry with backoff** — pass ``retry=RetryPolicy(...)`` and each
+  job's transient failures (:class:`~repro.exceptions.TransientError`)
+  are re-attempted in-worker with exponential backoff + deterministic
+  jitter; the per-attempt records surface in ``JobResult.attempts``.
+* **Worker-death recovery** — a killed worker (OOM, segfault, injected
+  ``kill`` fault) breaks the whole ``ProcessPoolExecutor``; the engine
+  restarts the pool up to ``max_pool_restarts`` times and resubmits only
+  the unfinished jobs, so one dead worker never poisons the rest of the
+  sweep (``batch.pool_restarts`` telemetry + ``BatchReport.pool_restarts``).
+* **Crash-safe journal** — ``journal="sweep.jsonl"`` durably appends each
+  finished result (:mod:`repro.resilience.journal`); re-running with
+  ``resume=True`` skips completed jobs and reproduces the uninterrupted
+  report.
 
 ``compile_many`` returns a :class:`BatchReport` that preserves job order,
 aggregates cache hit/miss counters and stage timings, and renders a table
@@ -30,11 +43,16 @@ import signal
 import threading
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from .._telemetry import cache_delta, cache_info, count_event
+from ..exceptions import JobTimeoutError
+from ..resilience.faults import fault_point, faults_active
+from ..resilience.retry import RetryPolicy, execute_with_retry
 from .jobs import BatchJob, JobResult
 
 EXECUTORS = ("process", "thread", "serial")
@@ -43,9 +61,15 @@ EXECUTORS = ("process", "thread", "serial")
 #: crosses a process boundary, so the op-level list is capped).
 MAX_LINT_DIAGNOSTICS_PER_JOB = 25
 
+#: Pool rebuilds tolerated per ``compile_many`` call before the still-
+#: unfinished jobs are marked failed (a poison job that kills its worker
+#: every time converges in ``max_pool_restarts + 1`` rounds).
+DEFAULT_MAX_POOL_RESTARTS = 2
 
-class JobTimeout(Exception):
-    """Raised inside a worker when a job exceeds its per-job timeout."""
+#: Historic name: the timeout error used to be defined here.  It now
+#: lives in :mod:`repro.exceptions` as ``JobTimeoutError`` so the retry
+#: policy can classify it (transient, but not retried by default).
+JobTimeout = JobTimeoutError
 
 
 def _alarm_supported() -> bool:
@@ -55,6 +79,12 @@ def _alarm_supported() -> bool:
 
 #: Process-local: the degraded-timeout warning fires at most once.
 _timeout_warning_emitted = False
+
+
+def reset_timeout_warning() -> None:
+    """Re-arm the once-per-process degraded-timeout warning (tests)."""
+    global _timeout_warning_emitted
+    _timeout_warning_emitted = False
 
 
 def _note_timeout_unavailable() -> None:
@@ -82,18 +112,38 @@ _imports_warmed = False
 def _warm_heavy_imports() -> None:
     """Import lazily-loaded heavy dependencies before arming SIGALRM.
 
-    A ``JobTimeout`` raised while a module is mid-execution removes the
-    half-initialised module from ``sys.modules``; the next job re-executes
-    it from scratch, tripping import-time registries (networkx's backend
-    dispatch raises ``KeyError: Algorithm already exists``) and poisoning
-    every later job in the process.  Paying the import cost up front keeps
-    alarm deliveries out of import machinery entirely.
+    A ``JobTimeoutError`` raised while a module is mid-execution removes
+    the half-initialised module from ``sys.modules``; the next job
+    re-executes it from scratch, tripping import-time registries
+    (networkx's backend dispatch raises ``KeyError: Algorithm already
+    exists``) and poisoning every later job in the process.  Paying the
+    import cost up front keeps alarm deliveries out of import machinery
+    entirely.  ``tracemalloc`` is warmed for the same reason: pytest's
+    unraisable-exception hook imports it lazily, and an alarm landing in
+    that import used to fail otherwise-healthy timeout tests.
     """
     global _imports_warmed
     if _imports_warmed:
         return
+    import tracemalloc  # noqa: F401  (lazily imported by pytest's hooks)
+
     import networkx  # noqa: F401  (lazily imported by problems/arch/compiler)
     _imports_warmed = True
+
+
+def _inside_import_machinery(frame) -> bool:
+    """Is any frame on the stack executing the import system?
+
+    Raising from the alarm handler while ``importlib`` is mid-module
+    leaves a half-initialised module behind (see
+    :func:`_warm_heavy_imports`); deferring to the next itimer re-fire
+    (50 ms) costs nothing and keeps the interpreter consistent.
+    """
+    while frame is not None:
+        if frame.f_globals.get("__name__", "").startswith("importlib"):
+            return True
+        frame = frame.f_back
+    return False
 
 
 class _deadline:
@@ -102,13 +152,22 @@ class _deadline:
     def __init__(self, seconds: Optional[float]) -> None:
         self.seconds = seconds
         self.armed = False
+        self.disarming = False
 
     def __enter__(self):
         if self.seconds and self.seconds > 0:
             if _alarm_supported():
                 _warm_heavy_imports()
                 def _on_alarm(signum, frame):
-                    raise JobTimeout(
+                    # Deferral cases (the re-fire interval retries in
+                    # 50 ms): mid-disarm — a raise here would skip the
+                    # setitimer(0) below and leak an armed timer into
+                    # caller code; mid-import — a raise would evict a
+                    # half-initialised module from sys.modules and
+                    # poison every later job in this process.
+                    if self.disarming or _inside_import_machinery(frame):
+                        return
+                    raise JobTimeoutError(
                         f"job exceeded the per-job timeout of "
                         f"{self.seconds}s")
                 self._previous = signal.signal(signal.SIGALRM, _on_alarm)
@@ -124,13 +183,57 @@ class _deadline:
         return self
 
     def __exit__(self, *exc):
+        self.disarming = True
         if self.armed:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, self._previous)
         return False
 
 
-def execute_job(job: BatchJob, timeout_s: Optional[float] = None) -> JobResult:
+def _clear_leaked_alarm(timeout_s: Optional[float]) -> None:
+    """Defensively kill any itimer that escaped ``_deadline.__exit__``.
+
+    A signal delivered in the few bytecodes *before* ``__exit__`` sets
+    its guard can raise through the disarm path; this backstop (run once
+    per job, off the hot path) guarantees no timer survives into caller
+    code.
+    """
+    if timeout_s and _alarm_supported():
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+
+
+def _run_job(job: BatchJob, timeout_s: Optional[float],
+             scratch: Dict) -> Dict:
+    """One compilation attempt; raises on failure, returns the record.
+
+    ``scratch`` carries per-attempt side artefacts (the lint payload)
+    out of the attempt even when a later step — validation — fails it.
+    """
+    scratch.clear()
+    with _deadline(timeout_s):
+        fault_point("batch.job", job.name)
+        from .jobs import resolve_compiler
+
+        coupling, problem, noise = job.build()
+        compiler = resolve_compiler(job.method)
+        result = compiler(coupling, problem, noise=noise,
+                          gamma=job.gamma, **dict(job.options))
+        if job.lint:
+            # Lint before validating: the linter collects *all*
+            # findings, so its report must survive even when the
+            # fail-fast validator rejects the circuit next.
+            from ..lint import lint_result, render_json
+
+            scratch["lint"] = render_json(
+                lint_result(result, coupling, problem),
+                max_diagnostics=MAX_LINT_DIAGNOSTICS_PER_JOB)
+        if job.validate:
+            result.validate(coupling, problem)
+        return result.to_record()
+
+
+def execute_job(job: BatchJob, timeout_s: Optional[float] = None,
+                retry: Optional[RetryPolicy] = None) -> JobResult:
     """Run one job to a :class:`JobResult`; never raises.
 
     This is the module-level worker entry point (must stay picklable for
@@ -140,45 +243,60 @@ def execute_job(job: BatchJob, timeout_s: Optional[float] = None) -> JobResult:
     engine changes.  The per-job cache delta is measured around the whole
     job — including coupling/problem construction — so methods whose
     passes touch no cache still report cache reuse.
+
+    With a ``retry`` policy, transient failures re-attempt in-worker
+    (each attempt re-arms the full per-job deadline); the per-attempt
+    records land in :attr:`JobResult.attempts`.  Without one, a single
+    attempt runs with zero retry-machinery overhead.
     """
     start = time.perf_counter()
     before = cache_info()
-    lint_payload = None
+    scratch: Dict = {}
     try:
-        with _deadline(timeout_s):
-            from .jobs import resolve_compiler
-
-            coupling, problem, noise = job.build()
-            compiler = resolve_compiler(job.method)
-            result = compiler(coupling, problem, noise=noise,
-                              gamma=job.gamma, **dict(job.options))
-            if job.lint:
-                # Lint before validating: the linter collects *all*
-                # findings, so its report must survive even when the
-                # fail-fast validator rejects the circuit next.
-                from ..lint import lint_result, render_json
-
-                lint_payload = render_json(
-                    lint_result(result, coupling, problem),
-                    max_diagnostics=MAX_LINT_DIAGNOSTICS_PER_JOB)
-            if job.validate:
-                result.validate(coupling, problem)
-            record = result.to_record()
-        return JobResult(
-            job=job, ok=True, wall_time_s=time.perf_counter() - start,
-            record=record, cache=cache_delta(before, cache_info()),
-            lint=lint_payload)
-    except Exception as exc:  # per-job failure capture, not batch abort
-        return JobResult(
-            job=job, ok=False, wall_time_s=time.perf_counter() - start,
-            cache=cache_delta(before, cache_info()),
-            error=str(exc), error_type=type(exc).__name__,
-            lint=lint_payload)
+        if retry is None:
+            try:
+                record = _run_job(job, timeout_s, scratch)
+                return JobResult(
+                    job=job, ok=True,
+                    wall_time_s=time.perf_counter() - start,
+                    record=record,
+                    cache=cache_delta(before, cache_info()),
+                    lint=scratch.get("lint"))
+            except Exception as exc:  # job failure capture, not batch abort
+                return JobResult(
+                    job=job, ok=False,
+                    wall_time_s=time.perf_counter() - start,
+                    cache=cache_delta(before, cache_info()),
+                    error=str(exc), error_type=type(exc).__name__,
+                    lint=scratch.get("lint"))
+        outcome = execute_with_retry(
+            lambda: _run_job(job, timeout_s, scratch), retry, key=job.name)
+        wall = time.perf_counter() - start
+        cache = cache_delta(before, cache_info())
+        if outcome.ok:
+            return JobResult(job=job, ok=True, wall_time_s=wall,
+                             record=outcome.value, cache=cache,
+                             lint=scratch.get("lint"),
+                             attempts=outcome.attempts)
+        error = outcome.error
+        assert error is not None
+        return JobResult(job=job, ok=False, wall_time_s=wall, cache=cache,
+                         error=str(error), error_type=type(error).__name__,
+                         lint=scratch.get("lint"),
+                         attempts=outcome.attempts)
+    finally:
+        _clear_leaked_alarm(timeout_s)
 
 
 @dataclass
 class BatchReport:
     """Everything ``compile_many`` learned, in job order."""
+
+    #: Bumped whenever :meth:`to_json` changes shape.  2 added
+    #: ``schema_version`` itself plus the resilience aggregates
+    #: (``pool_restarts``, ``resumed_jobs``, ``retry_totals``,
+    #: ``degraded_jobs``, per-job ``attempts``).
+    SCHEMA_VERSION = 2
 
     results: List[JobResult]
     wall_time_s: float
@@ -186,6 +304,11 @@ class BatchReport:
     executor: str
     timeout_s: Optional[float] = None
     timeout_enforced: bool = True
+    #: Times the worker pool was rebuilt after breaking (dead workers).
+    pool_restarts: int = 0
+    #: Jobs whose results were recovered from a resume journal instead
+    #: of being recompiled.
+    resumed_jobs: int = 0
 
     @property
     def ok(self) -> List[JobResult]:
@@ -227,6 +350,25 @@ class BatchReport:
     def lint_errors(self) -> int:
         """Total error-severity diagnostics across all linted jobs."""
         return self.lint_totals()["counts"].get("error", 0)
+
+    def retry_totals(self) -> Dict[str, int]:
+        """Aggregated retry activity across all jobs.
+
+        ``retries`` — backoff-then-retry transitions taken;
+        ``retried_jobs`` — jobs that needed more than one attempt;
+        ``recovered_jobs`` — of those, the ones that ended ``ok``.
+        """
+        retried = [r for r in self.results if r.attempts]
+        return {
+            "retries": sum(r.retries for r in self.results),
+            "retried_jobs": len(retried),
+            "recovered_jobs": sum(1 for r in retried if r.ok),
+        }
+
+    @property
+    def degraded_jobs(self) -> int:
+        """Jobs whose compiler fell back to a cheaper method mid-run."""
+        return sum(1 for r in self.results if r.degraded)
 
     def stage_totals(self) -> Dict[str, float]:
         """Summed per-stage compile seconds across successful jobs."""
@@ -270,6 +412,25 @@ class BatchReport:
                 f"lint: {totals['counts'].get('error', 0)} error(s), "
                 f"{totals['counts'].get('warning', 0)} warning(s)"
                 + (f" [{rules}]" if rules else ""))
+        retry = self.retry_totals()
+        if retry["retries"]:
+            lines.append(
+                f"retries: {retry['retries']} across "
+                f"{retry['retried_jobs']} job(s), "
+                f"{retry['recovered_jobs']} recovered")
+        if self.pool_restarts:
+            lines.append(
+                f"note: the worker pool was restarted "
+                f"{self.pool_restarts} time(s) after worker death")
+        if self.resumed_jobs:
+            lines.append(
+                f"resumed: {self.resumed_jobs} job(s) recovered from "
+                f"the journal, {len(self.results) - self.resumed_jobs} "
+                f"compiled this run")
+        if self.degraded_jobs:
+            lines.append(
+                f"degraded: {self.degraded_jobs} job(s) fell back to a "
+                f"cheaper method (see extra['degraded'])")
         if self.timeout_s and not self.timeout_enforced:
             lines.append(
                 f"note: per-job timeout ({self.timeout_s:g}s) was NOT "
@@ -280,14 +441,19 @@ class BatchReport:
     def to_json(self) -> Dict:
         """JSON-serializable dump (specs, records, errors, aggregates)."""
         return {
+            "schema_version": self.SCHEMA_VERSION,
             "wall_time_s": self.wall_time_s,
             "workers": self.workers,
             "executor": self.executor,
             "timeout_s": self.timeout_s,
             "timeout_enforced": self.timeout_enforced,
+            "pool_restarts": self.pool_restarts,
+            "resumed_jobs": self.resumed_jobs,
             "cache_totals": self.cache_totals(),
             "stage_totals": self.stage_totals(),
             "lint_totals": self.lint_totals(),
+            "retry_totals": self.retry_totals(),
+            "degraded_jobs": self.degraded_jobs,
             "jobs": [
                 {
                     "name": r.job.name,
@@ -304,6 +470,7 @@ class BatchReport:
                     "lint": r.lint,
                     "error": r.error,
                     "error_type": r.error_type,
+                    "attempts": r.attempts,
                 }
                 for r in self.results
             ],
@@ -320,6 +487,10 @@ def compile_many(
     workers: Optional[int] = None,
     timeout_s: Optional[float] = None,
     executor: str = "process",
+    retry: Optional[RetryPolicy] = None,
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    max_pool_restarts: int = DEFAULT_MAX_POOL_RESTARTS,
 ) -> BatchReport:
     """Compile every job, fanning out over a worker pool.
 
@@ -336,6 +507,20 @@ def compile_many(
     executor:
         ``"process"`` (default), ``"thread"`` (no timeout enforcement,
         GIL-bound — mostly for debugging), or ``"serial"``.
+    retry:
+        Optional :class:`~repro.resilience.retry.RetryPolicy`; transient
+        job failures re-attempt in-worker with backoff.  ``None`` (the
+        default) keeps the historic single-attempt behavior.
+    journal:
+        Path of a crash-safe JSONL journal; every finished job is
+        durably appended (:mod:`repro.resilience.journal`).
+    resume:
+        With ``journal``, load completed results from an existing
+        compatible journal and only compile the remainder.  The resumed
+        report's per-job records equal an uninterrupted run's.
+    max_pool_restarts:
+        Pool rebuilds tolerated after worker death before the still-
+        unfinished jobs are recorded as failures.
     """
     if executor not in EXECUTORS:
         raise ValueError(
@@ -345,34 +530,121 @@ def compile_many(
         workers = default_workers(len(job_list))
     if workers < 0:
         raise ValueError(f"workers must be >= 0 (got {workers})")
+    if max_pool_restarts < 0:
+        raise ValueError(
+            f"max_pool_restarts must be >= 0 (got {max_pool_restarts})")
+    # A malformed REPRO_FAULT_PLAN must abort the sweep here, not surface
+    # later as per-job failures inside workers.
+    faults_active()
     start = time.perf_counter()
     enforced = _alarm_supported() if timeout_s else True
 
-    if executor == "serial" or workers <= 1 or len(job_list) <= 1:
-        results = [execute_job(job, timeout_s) for job in job_list]
-        return BatchReport(results, time.perf_counter() - start,
-                           workers=1, executor="serial",
-                           timeout_s=timeout_s, timeout_enforced=enforced)
-
-    pool_cls = (ProcessPoolExecutor if executor == "process"
-                else ThreadPoolExecutor)
-    if executor == "thread" and timeout_s:
-        enforced = False  # SIGALRM cannot fire on worker threads
     results: List[Optional[JobResult]] = [None] * len(job_list)
-    with pool_cls(max_workers=workers) as pool:
-        futures = {
-            pool.submit(execute_job, job, timeout_s): index
-            for index, job in enumerate(job_list)}
-        for future, index in futures.items():
-            try:
-                results[index] = future.result()
-            except Exception as exc:  # pool breakage (e.g. worker killed)
-                results[index] = JobResult(
-                    job=job_list[index], ok=False,
-                    error=str(exc), error_type=type(exc).__name__)
+    journal_obj = None
+    if journal is not None:
+        from ..resilience.journal import BatchJournal
+
+        journal_obj = BatchJournal(journal, job_list, resume=resume)
+        for index, recovered in sorted(journal_obj.completed.items()):
+            results[index] = recovered
+    resumed_jobs = sum(1 for r in results if r is not None)
+    pending = [index for index, r in enumerate(results) if r is None]
+
+    def finish(index: int, result: JobResult) -> None:
+        results[index] = result
+        if journal_obj is not None:
+            journal_obj.record(index, result)
+        fault_point("batch.collect", job_list[index].name)
+
+    pool_restarts = 0
+    try:
+        if executor == "serial" or workers <= 1 or len(pending) <= 1:
+            for index in pending:
+                finish(index, execute_job(job_list[index], timeout_s,
+                                          retry))
+            return BatchReport(results, time.perf_counter() - start,
+                               workers=1, executor="serial",
+                               timeout_s=timeout_s,
+                               timeout_enforced=enforced,
+                               resumed_jobs=resumed_jobs)
+
+        pool_cls = (ProcessPoolExecutor if executor == "process"
+                    else ThreadPoolExecutor)
+        if executor == "thread" and timeout_s:
+            enforced = False  # SIGALRM cannot fire on worker threads
+        pool_restarts = _run_pooled(
+            pool_cls, workers, job_list, pending, timeout_s, retry,
+            finish, max_pool_restarts)
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()
     return BatchReport(results, time.perf_counter() - start,
                        workers=workers, executor=executor,
-                       timeout_s=timeout_s, timeout_enforced=enforced)
+                       timeout_s=timeout_s, timeout_enforced=enforced,
+                       pool_restarts=pool_restarts,
+                       resumed_jobs=resumed_jobs)
+
+
+def _run_pooled(pool_cls, workers, job_list, pending, timeout_s, retry,
+                finish, max_pool_restarts) -> int:
+    """Fan ``pending`` out over fresh pools, rebuilding on breakage.
+
+    A worker killed mid-job (OOM, segfault, injected fault) breaks the
+    executor: its own job *and* every in-flight or not-yet-started
+    future raise ``BrokenExecutor``.  Completed jobs are never
+    recompiled; the broken ones are resubmitted — each in its **own**
+    single-worker pool, so an innocent job that merely shared the first
+    pool with a worker-killing poison job always recovers, and only the
+    job that keeps killing its (now private) worker converges to a
+    structured failure once the restart budget is spent.  Returns the
+    number of resubmission rounds taken (``batch.pool_restarts``).
+    """
+
+    def collect(pool, futures: Dict, broken: List[int]) -> None:
+        for future, index in futures.items():
+            try:
+                finish(index, future.result())
+            except BrokenExecutor as exc:
+                broken.append(index)
+                errors[index] = exc
+            except Exception as exc:  # non-breakage pool failure
+                finish(index, JobResult(
+                    job=job_list[index], ok=False,
+                    error=str(exc), error_type=type(exc).__name__))
+
+    errors: Dict[int, BaseException] = {}
+    restarts = 0
+    while pending:
+        broken: List[int] = []
+        if restarts == 0:
+            with pool_cls(max_workers=workers) as pool:
+                collect(pool, {
+                    pool.submit(execute_job, job_list[index], timeout_s,
+                                retry): index
+                    for index in pending}, broken)
+        else:
+            # Retry rounds quarantine each broken job: a poison job can
+            # then only break its private pool, never its peers.
+            for index in pending:
+                with pool_cls(max_workers=1) as pool:
+                    collect(pool, {
+                        pool.submit(execute_job, job_list[index],
+                                    timeout_s, retry): index}, broken)
+        if not broken:
+            break
+        if restarts >= max_pool_restarts:
+            for index in broken:
+                finish(index, JobResult(
+                    job=job_list[index], ok=False,
+                    error=(f"worker died and the pool-restart budget "
+                           f"({max_pool_restarts}) is spent: "
+                           f"{errors[index]}"),
+                    error_type=type(errors[index]).__name__))
+            break
+        restarts += 1
+        count_event("batch.pool_restarts")
+        pending = broken
+    return restarts
 
 
 def jobs_for(

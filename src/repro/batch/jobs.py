@@ -12,7 +12,7 @@ caches amortize them across the jobs that worker handles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..pipeline.registry import available_methods, get_method
 
@@ -127,6 +127,12 @@ class JobResult:
     #: ``lint=True`` (present even when a later validation step failed
     #: the job, so the full diagnostic picture survives).
     lint: Optional[Dict] = None
+    #: One record per *failed* attempt when the engine ran this job
+    #: under a retry policy (:mod:`repro.resilience.retry`): ``attempt``
+    #: (1-based), ``error_type``, ``error``, ``transient``, and — when a
+    #: backoff-then-retry followed — ``retried: True`` + ``backoff_s``.
+    #: Empty when the first attempt succeeded or no policy was set.
+    attempts: List[Dict] = field(default_factory=list)
 
     @property
     def metrics(self) -> Dict:
@@ -138,6 +144,16 @@ class JobResult:
         """The compiler's ``CompiledResult.extra`` payload (may be empty)."""
         return self.record.get("extra", {})
 
+    @property
+    def retries(self) -> int:
+        """Backoff-then-retry transitions this job actually took."""
+        return sum(1 for record in self.attempts if record.get("retried"))
+
+    @property
+    def degraded(self) -> bool:
+        """Did the compiler fall back to a cheaper method mid-job?"""
+        return bool(self.telemetry.get("degraded"))
+
     def summary(self) -> str:
         if not self.ok:
             return (f"{self.job.name}: FAILED {self.error_type}: "
@@ -145,3 +161,36 @@ class JobResult:
         return (f"{self.job.name}: depth={self.record.get('depth')} "
                 f"cx={self.record.get('cx')} "
                 f"time={self.wall_time_s:.3f}s")
+
+    def to_json(self) -> Dict:
+        """The outcome as plain data (everything except the job spec).
+
+        This is the payload the crash-safe journal persists
+        (:mod:`repro.resilience.journal`); :meth:`from_json` rebuilds an
+        equal :class:`JobResult` given the same :class:`BatchJob`.
+        """
+        return {
+            "ok": self.ok,
+            "wall_time_s": self.wall_time_s,
+            "record": self.record,
+            "cache": self.cache,
+            "error": self.error,
+            "error_type": self.error_type,
+            "lint": self.lint,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_json(cls, job: BatchJob, payload: Dict) -> "JobResult":
+        """Rebuild a result journaled by :meth:`to_json` for ``job``."""
+        return cls(
+            job=job,
+            ok=bool(payload.get("ok")),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            record=payload.get("record") or {},
+            cache=payload.get("cache") or {},
+            error=payload.get("error"),
+            error_type=payload.get("error_type"),
+            lint=payload.get("lint"),
+            attempts=payload.get("attempts") or [],
+        )

@@ -142,6 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "aggregate diagnostics in the report")
     batch_p.add_argument("--json", metavar="FILE",
                          help="write the full report as JSON")
+    batch_p.add_argument("--retries", type=_positive_int, default=None,
+                         metavar="N",
+                         help="attempts per job for transient failures "
+                              "(exponential backoff; default: no retries)")
+    batch_p.add_argument("--journal", metavar="FILE",
+                         help="crash-safe JSONL journal of finished jobs "
+                              "(each result fsync-ed before moving on)")
+    batch_p.add_argument("--resume", action="store_true",
+                         help="with --journal: skip jobs already "
+                              "completed by a previous (crashed) run")
+    batch_p.add_argument("--max-pool-restarts", type=int, default=None,
+                         metavar="N",
+                         help="worker-pool rebuilds tolerated after "
+                              "worker death (default: 2)")
 
     lint_p = sub.add_parser(
         "lint", help="statically analyze serialized compiled circuits")
@@ -254,11 +268,19 @@ def _cmd_compile(args) -> int:
 
 def _cmd_batch(args) -> int:
     from .batch import compile_many, jobs_for
+    from .batch.engine import DEFAULT_MAX_POOL_RESTARTS
+    from .resilience import JournalError, RetryPolicy
 
     methods = [m.strip() for m in args.method.split(",") if m.strip()]
     if not methods:
         print("error: --method needs at least one compiler name",
               file=sys.stderr)
+        return 2
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal FILE", file=sys.stderr)
+        return 2
+    if args.max_pool_restarts is not None and args.max_pool_restarts < 0:
+        print("error: --max-pool-restarts must be >= 0", file=sys.stderr)
         return 2
     try:
         jobs = jobs_for(
@@ -269,9 +291,21 @@ def _cmd_batch(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    report = compile_many(
-        jobs, workers=args.workers, timeout_s=args.timeout,
-        executor="serial" if args.serial else "process")
+    retry = RetryPolicy(max_attempts=args.retries) if args.retries else None
+    try:
+        report = compile_many(
+            jobs, workers=args.workers, timeout_s=args.timeout,
+            executor="serial" if args.serial else "process",
+            retry=retry, journal=args.journal, resume=args.resume,
+            max_pool_restarts=(DEFAULT_MAX_POOL_RESTARTS
+                               if args.max_pool_restarts is None
+                               else args.max_pool_restarts))
+    except (JournalError, ValueError) as exc:
+        # JournalError: incompatible resume.  ValueError: bad engine
+        # arguments or a malformed REPRO_FAULT_PLAN — config errors, not
+        # job failures.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(format_table(
         ["job", "status", "depth", "CX", "SWAPs", "seconds"],
         report.rows(),

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 from .._telemetry import cache_delta, cache_info
 from ..compiler.result import CompiledResult
+from ..resilience.faults import fault_point
 from .context import CompilationContext
 
 #: Signature of the ``on_pass_end`` observability callback.
@@ -92,6 +93,7 @@ class Pipeline:
         records = context.extras.setdefault("passes", [])
         timings = context.extras.setdefault("timings", {})
         for pass_ in self.passes:
+            fault_point("pipeline.pass", pass_.name)
             before = cache_info()
             started = time.perf_counter()
             outcome = pass_.run(context)

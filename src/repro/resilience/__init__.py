@@ -1,0 +1,49 @@
+"""Resilience layer: fault injection, retries, crash-safe journaling.
+
+Production sweeps fail in ways unit tests never exercise — worker OOM
+kills, flaky transient errors, exhausted solver budgets, interrupted
+runs.  This package makes each failure mode (a) *injectable on demand*
+so chaos tests prove the recovery path deterministically, and (b)
+*survivable* through retry policies, pool restarts, journaled resume,
+and graceful method degradation:
+
+* :mod:`repro.resilience.faults` — ``FaultPlan`` / ``fault_point``:
+  deterministic fault injection at named sites in the batch engine,
+  pass pipeline, and exact solver (env: ``REPRO_FAULT_PLAN``);
+* :mod:`repro.resilience.retry` — ``RetryPolicy`` /
+  ``execute_with_retry``: exponential backoff with deterministic
+  jitter, driven by the transient/permanent split in
+  :mod:`repro.exceptions`;
+* :mod:`repro.resilience.journal` — ``BatchJournal``: crash-safe
+  append-only JSONL of finished jobs; ``compile_many(..., journal=...,
+  resume=True)`` and ``python -m repro batch --journal --resume`` skip
+  completed work after a crash.
+
+See ``docs/resilience.md`` for the full reference.
+"""
+
+from .faults import (ENV_VAR, FaultPlan, FaultSpec, active_plan,
+                     current_plan, fault_point, faults_active)
+from .journal import (JOURNAL_VERSION, BatchJournal, JournalError,
+                      job_fingerprint)
+from .retry import (NO_RETRY, RetryOutcome, RetryPolicy, call_with_retry,
+                    execute_with_retry)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "fault_point",
+    "faults_active",
+    "active_plan",
+    "current_plan",
+    "ENV_VAR",
+    "RetryPolicy",
+    "RetryOutcome",
+    "execute_with_retry",
+    "call_with_retry",
+    "NO_RETRY",
+    "BatchJournal",
+    "JournalError",
+    "job_fingerprint",
+    "JOURNAL_VERSION",
+]

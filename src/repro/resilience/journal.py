@@ -1,0 +1,158 @@
+"""Crash-safe append-only journal for batch sweeps.
+
+A :class:`BatchJournal` records every finished :class:`JobResult` of a
+``compile_many`` run as one JSONL line, written with a single
+``os.write`` on an ``O_APPEND`` descriptor and ``fsync``-ed before the
+engine moves on.  If the sweep dies — worker OOM, parent crash, ctrl-C —
+the journal holds exactly the set of jobs that completed, and re-running
+with ``resume=True`` (CLI: ``--journal FILE --resume``) skips them, so
+the resumed :class:`~repro.batch.engine.BatchReport` carries the same
+per-job records and aggregates as an uninterrupted run.
+
+File format (version 1)::
+
+    {"kind": "header", "version": 1, "fingerprint": "...", "n_jobs": N}
+    {"kind": "result", "index": 3, "job": "grid/...", "result": {...}}
+    ...
+
+* The **header** is written when the journal is created.  Its
+  ``fingerprint`` is a SHA-256 over the canonical JSON of every job
+  spec, so resuming against a *different* job list (changed seeds,
+  methods, order...) fails loudly instead of silently mixing sweeps.
+* Each **result** line carries the job's index in the sweep plus the
+  :meth:`JobResult.to_json` payload; the job spec itself is not stored —
+  on resume the caller re-creates the same job list and the fingerprint
+  proves it matches.
+* A line is only trusted if it parses as complete JSON: a crash halfway
+  through an append leaves a truncated tail that is detected and
+  discarded on load (with everything before it kept).  Duplicate
+  indexes keep the *last* record, so a sweep resumed twice stays
+  consistent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..batch.jobs import BatchJob, JobResult
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(ValueError):
+    """A journal file cannot be used for the requested resume."""
+
+
+def job_fingerprint(jobs: Sequence[BatchJob]) -> str:
+    """Stable identity of a job list (order-sensitive, spec-complete)."""
+    specs = []
+    for job in jobs:
+        spec = asdict(job)
+        spec["options"] = [list(pair) for pair in job.options]
+        specs.append(spec)
+    payload = json.dumps(specs, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class BatchJournal:
+    """Append-only JSONL journal bound to one job list.
+
+    ``resume=True`` loads any compatible existing journal at ``path``
+    and exposes the completed results via :attr:`completed`;
+    ``resume=False`` truncates whatever was there and starts fresh.
+    Appends are atomic (single ``write`` + ``fsync``), so a kill at any
+    instant loses at most the in-flight line.
+    """
+
+    def __init__(self, path: Union[str, Path], jobs: Sequence[BatchJob],
+                 resume: bool = False) -> None:
+        self.path = Path(path)
+        self.fingerprint = job_fingerprint(jobs)
+        self.n_jobs = len(jobs)
+        #: ``{job index: JobResult}`` recovered from a previous run.
+        self.completed: Dict[int, JobResult] = {}
+        existing = resume and self.path.exists() \
+            and self.path.stat().st_size > 0
+        if existing:
+            self._load(jobs)
+        self._fd = os.open(
+            self.path,
+            os.O_WRONLY | os.O_APPEND | os.O_CREAT
+            | (0 if existing else os.O_TRUNC),
+            0o644)
+        if not existing:
+            self._append({"kind": "header", "version": JOURNAL_VERSION,
+                          "fingerprint": self.fingerprint,
+                          "n_jobs": self.n_jobs})
+
+    # -- writing ------------------------------------------------------------
+
+    def _append(self, payload: Dict[str, object]) -> None:
+        line = json.dumps(payload, separators=(",", ":")) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+        os.fsync(self._fd)
+
+    def record(self, index: int, result: JobResult) -> None:
+        """Durably append one finished job's result."""
+        self._append({"kind": "result", "index": index,
+                      "job": result.job.name, "result": result.to_json()})
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+    def __enter__(self) -> "BatchJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+    # -- loading ------------------------------------------------------------
+
+    def _load(self, jobs: Sequence[BatchJob]) -> None:
+        header: Optional[Dict[str, object]] = None
+        entries: List[Dict[str, object]] = []
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # A crash mid-append leaves one truncated tail line;
+                    # everything after it is untrustworthy too.
+                    break
+                if not isinstance(entry, dict):
+                    break
+                entries.append(entry)
+        if not entries or entries[0].get("kind") != "header":
+            raise JournalError(
+                f"{self.path}: not a batch journal (missing header); "
+                f"remove the file or drop --resume")
+        header = entries[0]
+        if header.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"{self.path}: journal version {header.get('version')!r} "
+                f"!= supported {JOURNAL_VERSION}")
+        if header.get("fingerprint") != self.fingerprint:
+            raise JournalError(
+                f"{self.path}: journal was written for a different job "
+                f"list (fingerprint mismatch); resuming would mix "
+                f"sweeps — remove the file or re-run the original "
+                f"command line")
+        for entry in entries[1:]:
+            if entry.get("kind") != "result":
+                continue
+            index = entry.get("index")
+            if not isinstance(index, int) or not 0 <= index < len(jobs):
+                continue
+            payload = entry.get("result")
+            if not isinstance(payload, dict):
+                continue
+            self.completed[index] = JobResult.from_json(jobs[index],
+                                                        payload)

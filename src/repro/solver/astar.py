@@ -59,10 +59,11 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .._telemetry import count_event
 from ..arch.coupling import CouplingGraph
-from ..exceptions import SolverError
+from ..exceptions import SolverError, SolverExhaustedError
 from ..ir.circuit import Circuit
 from ..ir.gates import Op, canonical_edge, canonical_edges
 from ..ir.mapping import Mapping
+from ..resilience.faults import fault_point
 from .heuristic import pair_cost
 
 Action = Tuple[str, int, int]  # ("gate"|"swap", physical u, physical v)
@@ -159,6 +160,7 @@ def solve_depth_optimal(
     if strategy not in STRATEGIES:
         raise ValueError(
             f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    fault_point("solver.solve")
     started = time.perf_counter()
     stats = SolverStats(strategy=strategy)
 
@@ -250,10 +252,15 @@ class _Instance:
     def expand(self, occ: Occupancy, rem: int) -> List[Child]:
         """All non-dominated one-cycle transitions out of ``(occ, rem)``.
 
+        (``fault_point("solver.expand")`` sits here so chaos tests can
+        exhaust/abort a search mid-flight; it is a no-op — one global
+        load — unless a fault plan is active.)
+
         Children carry their heuristic value, computed incrementally from
         this node's degree/position/pair-cost tables: only pairs with a
         touched endpoint (gate executed or qubit moved) are re-costed.
         """
+        fault_point("solver.expand")
         incident = self.incident
         edge_list = self.edge_list
         dist = self.dist
@@ -488,7 +495,7 @@ def _search_astar(
             return _unwind(key, parents)
         stats.nodes_expanded += 1
         if stats.nodes_expanded > max_nodes:
-            raise SolverError(
+            raise SolverExhaustedError(
                 f"A* exceeded its node budget of {max_nodes}; "
                 f"instance too large for the optimal solver")
 
@@ -531,7 +538,7 @@ def _search_idastar(
         """Return 0 when solved within ``bound``, else the next bound."""
         stats.nodes_expanded += 1
         if stats.nodes_expanded > max_nodes:
-            raise SolverError(
+            raise SolverExhaustedError(
                 f"IDA* exceeded its node budget of {max_nodes}; "
                 f"instance too large for the optimal solver")
         next_bound = infinity

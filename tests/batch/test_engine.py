@@ -109,7 +109,7 @@ class TestTimeout:
         job = BatchJob(arch="heavyhex", n_qubits=48, density=0.5)
         result = execute_job(job, timeout_s=0.001)
         assert not result.ok
-        assert result.error_type == "JobTimeout"
+        assert result.error_type == "JobTimeoutError"
 
     def test_generous_timeout_does_not_fire(self):
         job = BatchJob(arch="line", n_qubits=6)
@@ -139,6 +139,25 @@ class TestTimeout:
             compile_many(jobs[:1], timeout_s=5.0, executor="serial")
         assert not [w for w in captured
                     if issubclass(w.category, RuntimeWarning)]
+
+    def test_reset_timeout_warning_rearms_the_warning(self, monkeypatch):
+        import warnings
+
+        from repro.batch import engine, reset_timeout_warning
+
+        monkeypatch.setattr(engine, "_alarm_supported", lambda: False)
+        job = BatchJob(arch="line", n_qubits=4)
+        with pytest.warns(RuntimeWarning, match="SIGALRM"):
+            reset_timeout_warning()
+            compile_many([job], timeout_s=5.0, executor="serial")
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            compile_many([job], timeout_s=5.0, executor="serial")
+        assert not [w for w in captured
+                    if issubclass(w.category, RuntimeWarning)]
+        reset_timeout_warning()
+        with pytest.warns(RuntimeWarning, match="SIGALRM"):
+            compile_many([job], timeout_s=5.0, executor="serial")
 
     def test_enforced_timeout_emits_no_degradation_note(self):
         job = BatchJob(arch="line", n_qubits=4)

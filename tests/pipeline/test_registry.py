@@ -106,8 +106,19 @@ class TestCompileThroughRegistry:
         result = get_method("optimal").compile(
             line(4), clique(4), strategy="idastar", minimize_swaps=True)
         assert result.extra["solver"]["strategy"] == "idastar"
+        # fallback=None disables the graceful greedy degradation, so the
+        # budget blowup surfaces as the historic hard SolverError.
         with pytest.raises(SolverError, match="node budget"):
-            get_method("optimal").compile(line(5), clique(5), max_nodes=3)
+            get_method("optimal").compile(line(5), clique(5), max_nodes=3,
+                                          fallback=None)
+
+    def test_optimal_method_degrades_by_default(self):
+        from repro.problems import clique
+
+        result = get_method("optimal").compile(line(5), clique(5),
+                                               max_nodes=3)
+        assert result.extra["degraded"]["fallback"] == "greedy"
+        assert result.method == "optimal"
 
 
 class TestCustomRegistration:

@@ -1,0 +1,39 @@
+"""Shared helpers for the resilience chaos suite."""
+
+from repro.batch import jobs_for
+
+
+def small_jobs(n=4, method="greedy", **kwargs):
+    """Fast deterministic jobs (tiny line instances, varying seeds)."""
+    return jobs_for(["line"], 6, methods=(method,),
+                    seeds=tuple(range(n)), **kwargs)
+
+
+def normalize_report(payload):
+    """Project a ``BatchReport.to_json()`` payload onto its deterministic core.
+
+    Wall-clock fields (timings, per-job wall time) and cache deltas vary
+    between otherwise-identical runs — cache state depends on what the
+    process compiled before — so resume-equality is asserted on
+    everything else: job identity and order, ok-ness, compiled metrics,
+    error classification, and attempt structure (minus backoff walls).
+    """
+    return {
+        "schema_version": payload["schema_version"],
+        "jobs": [
+            {
+                "name": job["name"],
+                "spec": job["spec"],
+                "ok": job["ok"],
+                "metrics": {k: v for k, v in (job["record"] or {}).items()
+                            if k not in ("extra", "wall_time_s")},
+                "error": job["error"],
+                "error_type": job["error_type"],
+                "attempts": [
+                    {k: v for k, v in attempt.items() if k != "backoff_s"}
+                    for attempt in job["attempts"]
+                ],
+            }
+            for job in payload["jobs"]
+        ],
+    }

@@ -1,0 +1,154 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import json
+
+import pytest
+
+from repro.exceptions import (JobTimeoutError, ResourceExhaustedError,
+                              SolverExhaustedError, TransientError)
+from repro.resilience import faults
+from repro.resilience.faults import (ENV_VAR, FaultPlan, FaultSpec,
+                                     active_plan, current_plan, fault_point,
+                                     faults_active)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """Each test starts with no plan and an empty environment."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultSpec(site="batch.job", action="explode")
+
+    def test_rejects_unknown_error_class(self):
+        with pytest.raises(ValueError, match="unknown fault error class"):
+            FaultSpec(site="batch.job", error="nope")
+
+    def test_rejects_negative_schedule(self):
+        with pytest.raises(ValueError, match="at >= 0"):
+            FaultSpec(site="batch.job", at=-1)
+        with pytest.raises(ValueError, match="times >= 1"):
+            FaultSpec(site="batch.job", times=0)
+
+    def test_fire_raises_the_named_class(self):
+        with pytest.raises(ResourceExhaustedError):
+            FaultSpec(site="s", error="resource").fire()
+        with pytest.raises(SolverExhaustedError):
+            FaultSpec(site="s", error="solver_exhausted").fire()
+        with pytest.raises(JobTimeoutError):
+            FaultSpec(site="s", action="timeout").fire()
+
+    def test_custom_message(self):
+        with pytest.raises(TransientError, match="flaky network"):
+            FaultSpec(site="s", message="flaky network").fire()
+
+
+class TestFaultPlan:
+    def test_fires_at_the_exact_hit_index(self):
+        plan = FaultPlan([FaultSpec(site="s", at=2)])
+        with active_plan(plan):
+            fault_point("s")
+            fault_point("s")
+            with pytest.raises(TransientError):
+                fault_point("s")
+            fault_point("s")  # past the window: inert again
+        assert plan.hits == [4]
+        assert plan.fired == [1]
+
+    def test_times_widens_the_firing_window(self):
+        plan = FaultPlan([FaultSpec(site="s", at=1, times=2)])
+        with active_plan(plan):
+            fault_point("s")
+            with pytest.raises(TransientError):
+                fault_point("s")
+            with pytest.raises(TransientError):
+                fault_point("s")
+            fault_point("s")
+        assert plan.fired == [2]
+
+    def test_match_filters_on_detail_substring(self):
+        plan = FaultPlan([FaultSpec(site="s", match="grid")])
+        with active_plan(plan):
+            fault_point("s", "line/rand-6/hybrid")  # no match: not a hit
+            with pytest.raises(TransientError):
+                fault_point("s", "grid/rand-6/hybrid")
+        assert plan.hits == [1]
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan([FaultSpec(site="a")])
+        with active_plan(plan):
+            fault_point("b")
+            fault_point("b")
+            with pytest.raises(TransientError):
+                fault_point("a")
+
+    def test_inactive_by_default(self):
+        assert not faults_active()
+        assert current_plan() is None
+        fault_point("s")  # no plan: a no-op
+
+    def test_active_plan_restores_previous_state(self):
+        outer = FaultPlan([FaultSpec(site="s", at=99)])
+        inner = FaultPlan([])
+        with active_plan(outer):
+            with active_plan(inner):
+                assert current_plan() is inner
+            assert current_plan() is outer
+        assert current_plan() is None
+
+
+class TestEnvActivation:
+    def test_env_json_round_trip(self):
+        plan = FaultPlan([FaultSpec(site="batch.job", action="kill",
+                                    at=3, match="poison", exit_code=7)])
+        loaded = FaultPlan.from_dict(json.loads(plan.to_env()))
+        assert loaded.specs == plan.specs
+
+    def test_env_plan_fires(self, monkeypatch):
+        plan = FaultPlan([FaultSpec(site="s")])
+        monkeypatch.setenv(ENV_VAR, plan.to_env())
+        faults.reset()
+        assert faults_active()
+        with pytest.raises(TransientError):
+            fault_point("s")
+
+    def test_env_file_indirection(self, monkeypatch, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(FaultPlan([FaultSpec(site="s")]).to_env())
+        monkeypatch.setenv(ENV_VAR, f"@{path}")
+        faults.reset()
+        with pytest.raises(TransientError):
+            fault_point("s")
+
+    def test_empty_env_means_inactive(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "   ")
+        faults.reset()
+        assert not faults_active()
+
+    def test_malformed_env_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "{\"not\": \"a plan\"}")
+        faults.reset()
+        # The error names the variable so the misconfiguration is
+        # obvious, and repeats on every probe (no one-shot swallowing).
+        for _ in range(2):
+            with pytest.raises(ValueError, match=ENV_VAR):
+                fault_point("s")
+
+    def test_bare_list_env_rejected(self, monkeypatch):
+        # The env format is the to_env() object, not a bare spec list.
+        monkeypatch.setenv(ENV_VAR, '[{"site": "s"}]')
+        faults.reset()
+        with pytest.raises(ValueError, match="'faults' list"):
+            fault_point("s")
+
+    def test_missing_env_file_rejected(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_VAR, f"@{tmp_path / 'absent.json'}")
+        faults.reset()
+        with pytest.raises(ValueError, match=ENV_VAR):
+            fault_point("s")

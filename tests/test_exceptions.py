@@ -3,12 +3,17 @@
 import pytest
 
 from repro.exceptions import (ArchitectureError, CompilationError,
-                              ReproError, SolverError, ValidationError)
+                              JobTimeout, JobTimeoutError, ReproError,
+                              ResourceExhaustedError, SolverError,
+                              SolverExhaustedError, TransientError,
+                              ValidationError)
 
 
 class TestHierarchy:
     @pytest.mark.parametrize("exc", [ValidationError, ArchitectureError,
-                                     CompilationError, SolverError])
+                                     CompilationError, SolverError,
+                                     TransientError,
+                                     ResourceExhaustedError])
     def test_subclasses_of_repro_error(self, exc):
         assert issubclass(exc, ReproError)
         assert issubclass(exc, Exception)
@@ -16,6 +21,22 @@ class TestHierarchy:
     def test_catchable_as_base(self):
         with pytest.raises(ReproError):
             raise ValidationError("boom")
+
+    def test_transient_permanent_axis(self):
+        # Timeouts are transient (the machine was busy, not the spec
+        # wrong); validation/compilation failures are permanent.
+        assert issubclass(JobTimeoutError, TransientError)
+        assert not issubclass(ValidationError, TransientError)
+        assert not issubclass(CompilationError, TransientError)
+
+    def test_solver_exhaustion_is_both_solver_and_resource(self):
+        # Catch sites keyed on SolverError (CLI) and the degradation
+        # path keyed on ResourceExhaustedError both see budget blowups.
+        assert issubclass(SolverExhaustedError, SolverError)
+        assert issubclass(SolverExhaustedError, ResourceExhaustedError)
+
+    def test_job_timeout_back_compat_alias(self):
+        assert JobTimeout is JobTimeoutError
 
 
 class TestRaisedFromRealPaths:
@@ -41,5 +62,13 @@ class TestRaisedFromRealPaths:
         from repro.problems import clique
         from repro.solver import solve_depth_optimal
         with pytest.raises(SolverError):
+            solve_depth_optimal(line(5), sorted(clique(5).edges),
+                                max_nodes=2)
+
+    def test_budget_blowup_is_specifically_exhaustion(self):
+        from repro.arch import line
+        from repro.problems import clique
+        from repro.solver import solve_depth_optimal
+        with pytest.raises(SolverExhaustedError):
             solve_depth_optimal(line(5), sorted(clique(5).edges),
                                 max_nodes=2)
