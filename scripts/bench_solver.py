@@ -6,7 +6,10 @@ and :func:`repro.solver.solve_depth_optimal_reference` (the pre-refactor
 implementation) on the paper's discovery instances — the 1x6 line, the
 2x4 grid and a 7-qubit Sycamore fragment (Section 3: the sizes the
 authors could still solve exactly while looking for structured patterns)
-— and writes ``BENCH_solver.json`` at the repository root.
+— and **appends** a run record to the ``BENCH_solver.json`` trajectory at
+the repository root (see :mod:`repro.bench`).  Workload seeds are pinned
+(the instances are deterministic constructions), so successive runs in
+the trajectory are directly comparable.
 
 The run **fails** (exit 1) when any instance's depths disagree or when
 the node-expansion speedup on the grid instance drops below 3x (the
@@ -19,12 +22,12 @@ Usage::
                                               # dominated by the baseline)
     python scripts/bench_solver.py --smoke    # CI-sized instances (~2 s)
     python scripts/bench_solver.py --output /tmp/bench.json
+    python scripts/bench_solver.py --label baseline   # tag the record
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -35,6 +38,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.arch import grid, line  # noqa: E402
 from repro.arch.coupling import CouplingGraph  # noqa: E402
 from repro.arch.sycamore import sycamore  # noqa: E402
+from repro.bench import append_run  # noqa: E402
 from repro.problems import biclique, clique  # noqa: E402
 from repro.solver import (solve_depth_optimal,  # noqa: E402
                           solve_depth_optimal_reference)
@@ -116,7 +120,9 @@ def main(argv=None) -> int:
                         help="per-run node-expansion budget")
     parser.add_argument("--output", default=str(REPO_ROOT /
                                                 "BENCH_solver.json"),
-                        help="where to write the JSON report")
+                        help="trajectory file to append the run to")
+    parser.add_argument("--label", default="",
+                        help="optional run label (e.g. 'baseline')")
     args = parser.parse_args(argv)
 
     rows = [bench_instance(name, coupling, problem, args.max_nodes)
@@ -135,7 +141,7 @@ def main(argv=None) -> int:
             f"grid node-expansion speedup {grid_speedup}x is below the "
             f"{GRID_SPEEDUP_THRESHOLD}x acceptance bar")
 
-    report = {
+    run = {
         "generated_by": "scripts/bench_solver.py",
         "mode": "smoke" if args.smoke else "full",
         "instances": rows,
@@ -147,9 +153,11 @@ def main(argv=None) -> int:
             "ok": not failures,
         },
     }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n",
-                                 encoding="utf-8")
-    print(f"report written to {args.output}")
+    if args.label:
+        run["label"] = args.label
+    trajectory = append_run(args.output, run, benchmark="solver")
+    print(f"run {trajectory['runs'][-1]['run_id']} appended to "
+          f"{args.output} ({len(trajectory['runs'])} run(s) recorded)")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

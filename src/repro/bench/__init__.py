@@ -1,0 +1,19 @@
+"""Benchmark trajectory persistence (schema-versioned run records).
+
+``BENCH_*.json`` files at the repository root are *trajectories*: every
+benchmark invocation appends one run record instead of overwriting the
+file, so successive runs on pinned workload seeds stay comparable — the
+pre-optimization baseline remains in the file next to every later run,
+and acceptance gates can be expressed as "latest run vs. baseline run".
+"""
+
+from .trajectory import (SCHEMA_VERSION, append_run, baseline_run,
+                         latest_run, read_trajectory)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "append_run",
+    "baseline_run",
+    "latest_run",
+    "read_trajectory",
+]

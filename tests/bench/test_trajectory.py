@@ -1,0 +1,113 @@
+"""Round-trip tests for the bench trajectory store (ISSUE 6 satellite)."""
+
+import json
+
+import pytest
+
+from repro.bench import (SCHEMA_VERSION, append_run, baseline_run,
+                         latest_run, read_trajectory)
+
+
+class TestAppendReadRoundTrip:
+    def test_missing_file_reads_empty(self, tmp_path):
+        trajectory = read_trajectory(tmp_path / "BENCH.json", "compiler")
+        assert trajectory == {"schema": SCHEMA_VERSION,
+                              "benchmark": "compiler", "runs": []}
+
+    def test_append_creates_and_accumulates(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        append_run(path, {"mode": "full", "label": "baseline",
+                          "instances": [{"name": "grid", "wall_s": 9.0}]},
+                   benchmark="compiler")
+        append_run(path, {"mode": "full",
+                          "instances": [{"name": "grid", "wall_s": 1.0}]},
+                   benchmark="compiler")
+        trajectory = read_trajectory(path)
+        assert trajectory["schema"] == SCHEMA_VERSION
+        assert trajectory["benchmark"] == "compiler"
+        assert [run["run_id"] for run in trajectory["runs"]] == [1, 2]
+        assert trajectory["runs"][0]["label"] == "baseline"
+        # every appended record is stamped with provenance
+        for run in trajectory["runs"]:
+            assert run["schema"] == SCHEMA_VERSION
+            assert run["recorded_at"]
+            assert run["environment"]["python"]
+
+    def test_round_trip_preserves_payload(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        payload = {"mode": "smoke", "instances": [
+            {"name": "line-1024", "wall_s": 0.5, "depth": 42, "swaps": 7}]}
+        append_run(path, dict(payload))
+        run = read_trajectory(path)["runs"][0]
+        for key, value in payload.items():
+            assert run[key] == value
+
+    def test_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        append_run(path, {"mode": "full"})
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["runs"][0]["mode"] == "full"
+
+
+class TestLegacyMigration:
+    def test_legacy_report_becomes_run_one(self, tmp_path):
+        path = tmp_path / "BENCH_solver.json"
+        legacy = {"generated_by": "scripts/bench_solver.py",
+                  "mode": "full", "instances": [{"name": "grid"}],
+                  "acceptance": {"ok": True}}
+        path.write_text(json.dumps(legacy), encoding="utf-8")
+
+        trajectory = read_trajectory(path, "solver")
+        assert trajectory["schema"] == SCHEMA_VERSION
+        assert len(trajectory["runs"]) == 1
+        first = trajectory["runs"][0]
+        assert first["legacy"] is True
+        assert first["run_id"] == 1
+        assert first["mode"] == "full"
+        assert first["acceptance"] == {"ok": True}
+
+    def test_append_after_legacy_keeps_history(self, tmp_path):
+        path = tmp_path / "BENCH_solver.json"
+        path.write_text(json.dumps({"mode": "full", "instances": []}),
+                        encoding="utf-8")
+        append_run(path, {"mode": "full"}, benchmark="solver")
+        trajectory = read_trajectory(path)
+        assert [run["run_id"] for run in trajectory["runs"]] == [1, 2]
+        assert trajectory["runs"][0]["legacy"] is True
+        assert "legacy" not in trajectory["runs"][1]
+
+    def test_newer_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps({"schema": SCHEMA_VERSION + 1,
+                                    "runs": []}), encoding="utf-8")
+        with pytest.raises(ValueError, match="schema"):
+            read_trajectory(path)
+
+
+class TestRunSelection:
+    def _trajectory(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        append_run(path, {"mode": "full", "label": "baseline",
+                          "wall_s": 9.0})
+        append_run(path, {"mode": "smoke", "wall_s": 0.2})
+        append_run(path, {"mode": "full", "wall_s": 1.0})
+        return read_trajectory(path)
+
+    def test_latest_run(self, tmp_path):
+        trajectory = self._trajectory(tmp_path)
+        assert latest_run(trajectory)["wall_s"] == 1.0
+        assert latest_run(trajectory, mode="smoke")["wall_s"] == 0.2
+        assert latest_run({"runs": []}) is None
+
+    def test_baseline_run_prefers_label(self, tmp_path):
+        trajectory = self._trajectory(tmp_path)
+        assert baseline_run(trajectory)["label"] == "baseline"
+        assert baseline_run(trajectory, mode="full")["wall_s"] == 9.0
+
+    def test_baseline_falls_back_to_earliest(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        append_run(path, {"mode": "full", "wall_s": 5.0})
+        append_run(path, {"mode": "full", "wall_s": 1.0})
+        trajectory = read_trajectory(path)
+        assert baseline_run(trajectory)["wall_s"] == 5.0
+        assert baseline_run(trajectory, mode="smoke") is None
