@@ -80,6 +80,28 @@ class AtaPattern(ABC):
         """
         return self
 
+    def _memoized_restrict(self, key, build) -> "AtaPattern":
+        """Shared sub-pattern instances, keyed by bounding box.
+
+        Range detection restricts the same architecture pattern to the
+        same boxes over and over (once per candidate per region); sharing
+        the instance lets per-instance caches (``_compiled_cycles``, the
+        simulator's compiled arrays) amortise to one build per box.  The
+        memo is FIFO-capped so adversarial workloads cannot grow it
+        unboundedly.
+        """
+        memo = getattr(self, "_restrict_memo", None)
+        if memo is None:
+            memo = {}
+            self._restrict_memo = memo
+        sub = memo.get(key)
+        if sub is None:
+            if len(memo) >= 256:
+                memo.pop(next(iter(memo)))
+            sub = build()
+            memo[key] = sub
+        return sub
+
 
 def merge_parallel(streams: List[Iterator[List[Action]]]
                    ) -> Iterator[List[Action]]:

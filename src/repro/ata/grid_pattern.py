@@ -80,8 +80,13 @@ class GridCliquePattern(AtaPattern):
             return self
         r0, r1 = min(row_hits), max(row_hits)
         c0, c1 = min(col_hits), max(col_hits)
-        sub_units = [self.units[r][c0:c1 + 1] for r in range(r0, r1 + 1)]
-        return GridCliquePattern(sub_units)
+        if (r0 == 0 and c0 == 0 and r1 == len(self.units) - 1
+                and c1 == len(self.units[0]) - 1):
+            return self  # full span: keep the cycle-cached instance
+        return self._memoized_restrict(
+            (r0, r1, c0, c1),
+            lambda: GridCliquePattern(
+                [self.units[r][c0:c1 + 1] for r in range(r0, r1 + 1)]))
 
     def __repr__(self) -> str:
         width = len(self.units[0]) if self.units else 0
@@ -177,9 +182,78 @@ class OptimizedGridPattern(AtaPattern):
                          for i in range(parity, width - 1, 2))
         return cycle
 
+    def _compiled_plan(self):
+        """(distinct cycles, schedule indices) — see ``repro.ata.simulate``.
+
+        Cycle content depends on ``k`` and the placement index only
+        through ``k % 2``, so the whole ``ceil(R/2) * (3C + 2)`` schedule
+        is a replay of eight distinct cycles: the two compute phases and
+        the shared swap layer at either parity, plus the two placement
+        exchanges.
+        """
+        rows = self.units
+        n_rows = len(rows)
+        width = len(rows[0]) if rows else 0
+        if n_rows == 1:
+            return LinePattern(rows[0])._compiled_plan()
+        if width == 1:
+            return LinePattern([row[0] for row in rows])._compiled_plan()
+
+        even_pairs = list(range(0, n_rows - 1, 2))
+        odd_pairs = list(range(1, n_rows - 1, 2))
+        idle_in_even = [n_rows - 1] if n_rows % 2 == 1 else []
+        idle_in_odd = [0] + ([n_rows - 1] if n_rows % 2 == 0 else [])
+
+        def swap_cycle(k: int) -> List[Action]:
+            swaps: List[Action] = []
+            for r in range(n_rows):
+                parity = (r + k) % 2
+                swaps.extend((SWAP, rows[r][i], rows[r][i + 1])
+                             for i in range(parity, width - 1, 2))
+            return swaps
+
+        distinct = [
+            self._compute_cycle(even_pairs, idle_in_even, 0),
+            self._compute_cycle(even_pairs, idle_in_even, 1),
+            self._compute_cycle(odd_pairs, idle_in_odd, 0),
+            self._compute_cycle(odd_pairs, idle_in_odd, 1),
+            swap_cycle(0),
+            swap_cycle(1),
+            [(SWAP, rows[r][c], rows[r + 1][c])
+             for r in even_pairs for c in range(width)],
+            [(SWAP, rows[r][c], rows[r + 1][c])
+             for r in odd_pairs for c in range(width)],
+        ]
+        schedule: List[int] = []
+        n_placements = (n_rows + 1) // 2
+        for placement in range(n_placements):
+            for k in range(width):
+                parity = k % 2
+                schedule.extend((parity, 2 + parity, 4 + parity))
+            if placement < n_placements - 1:
+                schedule.extend((6, 7))
+        return distinct, schedule
+
     def restrict(self, qubits) -> "OptimizedGridPattern":
-        base = GridCliquePattern(self.units).restrict(qubits)
-        return OptimizedGridPattern(base.units)
+        wanted = set(qubits)
+        row_hits = []
+        col_hits = []
+        for r, unit in enumerate(self.units):
+            for c, q in enumerate(unit):
+                if q in wanted:
+                    row_hits.append(r)
+                    col_hits.append(c)
+        if not row_hits:
+            return self
+        r0, r1 = min(row_hits), max(row_hits)
+        c0, c1 = min(col_hits), max(col_hits)
+        if (r0 == 0 and c0 == 0 and r1 == len(self.units) - 1
+                and c1 == len(self.units[0]) - 1):
+            return self  # full span: keep the cycle-cached instance
+        return self._memoized_restrict(
+            (r0, r1, c0, c1),
+            lambda: OptimizedGridPattern(
+                [self.units[r][c0:c1 + 1] for r in range(r0, r1 + 1)]))
 
     def __repr__(self) -> str:
         width = len(self.units[0]) if self.units else 0

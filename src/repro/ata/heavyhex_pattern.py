@@ -78,18 +78,45 @@ class HeavyHexPattern(AtaPattern):
             yield self._exchange()
             yield from self._pass_cycles()
 
+    def _compiled_plan(self):
+        """(distinct cycles, schedule indices) — see ``repro.ata.simulate``.
+
+        Both passes replay the line pattern's four distinct cycles; the
+        interleave and exchange cycles are constant, so six distinct
+        cycles cover the whole two-pass schedule.
+        """
+        line_distinct, line_schedule = LinePattern(self.path)._compiled_plan()
+        if not self.off_path:
+            return line_distinct, line_schedule
+        distinct = list(line_distinct) + [self._interleave(),
+                                          self._exchange()]
+        interleave_index = len(line_distinct)
+        exchange_index = interleave_index + 1
+        pass_schedule = [interleave_index]
+        for position, index in enumerate(line_schedule):
+            pass_schedule.append(index)
+            if position % 2 == 1:  # after each swap cycle
+                pass_schedule.append(interleave_index)
+        return distinct, pass_schedule + [exchange_index] + pass_schedule
+
     def restrict(self, qubits) -> "HeavyHexPattern":
         """Narrow to a path segment when no off-path qubit is involved."""
         wanted = set(qubits)
         if wanted & set(self.off_path):
             return self
-        positions = [self.path.index(q) for q in wanted]  # det: ok — min/max only
+        index = getattr(self, "_position_index", None)
+        if index is None:
+            index = {q: i for i, q in enumerate(self.path)}
+            self._position_index = index
+        positions = [index[q] for q in wanted]  # det: ok — min/max only
         lo, hi = min(positions), max(positions)
-        segment = self.path[lo:hi + 1]
+        if lo == 0 and hi == len(self.path) - 1 and not self.off_path:
+            return self
         # Off-path anchors inside the segment stay available for interleaves
         # of pairs that might still need them; with no off-path qubits in the
         # region they are unnecessary, so drop them.
-        return HeavyHexPattern(segment, {})
+        return self._memoized_restrict(
+            (lo, hi), lambda: HeavyHexPattern(self.path[lo:hi + 1], {}))
 
     def __repr__(self) -> str:
         return (f"HeavyHexPattern(path={len(self.path)}, "

@@ -57,11 +57,41 @@ class LinePattern(AtaPattern):
             yield [(GATE, path[i], path[i + 1]) for i in range(1, m - 1, 2)]
             yield [(SWAP, path[i], path[i + 1]) for i in range(0, m - 1, 2)]
 
+    def _compiled_plan(self):
+        """(distinct cycles, schedule indices) — see ``repro.ata.simulate``.
+
+        The schedule is one four-cycle block repeated ``ceil(m/2)`` times,
+        so only four distinct cycles exist; the simulator compiles each
+        once and replays them by reference.
+        """
+        path = self.path
+        m = len(path)
+        if m < 2:
+            return [], []
+        distinct = [
+            [(GATE, path[i], path[i + 1]) for i in range(0, m - 1, 2)],
+            [(SWAP, path[i], path[i + 1]) for i in range(1, m - 1, 2)],
+            [(GATE, path[i], path[i + 1]) for i in range(1, m - 1, 2)],
+            [(SWAP, path[i], path[i + 1]) for i in range(0, m - 1, 2)],
+        ]
+        return distinct, [0, 1, 2, 3] * ((m + 1) // 2)
+
     def restrict(self, qubits) -> "LinePattern":
-        """The minimal contiguous sub-chain containing ``qubits``."""
-        positions = [self.path.index(q) for q in qubits]
+        """The minimal contiguous sub-chain containing ``qubits``.
+
+        Returns ``self`` when the sub-chain spans the whole path, so the
+        caller keeps the (possibly cycle-cached) original instance.
+        """
+        index = getattr(self, "_position_index", None)
+        if index is None:
+            index = {q: i for i, q in enumerate(self.path)}
+            self._position_index = index
+        positions = [index[q] for q in qubits]
         lo, hi = min(positions), max(positions)
-        return LinePattern(self.path[lo:hi + 1])
+        if lo == 0 and hi == len(self.path) - 1:
+            return self
+        return self._memoized_restrict(
+            (lo, hi), lambda: LinePattern(self.path[lo:hi + 1]))
 
     def __repr__(self) -> str:
         return f"LinePattern(m={len(self.path)})"

@@ -119,7 +119,11 @@ class SycamorePattern(_UnitTranspositionPattern):
                 r0 -= 1
             else:
                 r1 += 1
-        return SycamorePattern(self.cols, (r0, r1), (c0, c1))
+        if (r0, r1) == self.row_range and (c0, c1) == self.col_range:
+            return self
+        return self._memoized_restrict(
+            (r0, r1, c0, c1),
+            lambda: SycamorePattern(self.cols, (r0, r1), (c0, c1)))
 
     def __repr__(self) -> str:
         return (f"SycamorePattern(rows={self.row_range}, "
@@ -193,7 +197,11 @@ class HexagonPattern(_UnitTranspositionPattern):
                 r1 += 1
             else:
                 r0 -= 1
-        return HexagonPattern(self.rows, (c0, c1), (r0, r1))
+        if (c0, c1) == self.col_range and (r0, r1) == self.row_range:
+            return self
+        return self._memoized_restrict(
+            (c0, c1, r0, r1),
+            lambda: HexagonPattern(self.rows, (c0, c1), (r0, r1)))
 
     def __repr__(self) -> str:
         return (f"HexagonPattern(cols={self.col_range}, "

@@ -24,6 +24,7 @@ from ..ir.circuit import Circuit
 from ..ir.gates import Op, canonical_edge
 from ..ir.mapping import Mapping
 from ..problems.graphs import ProblemGraph
+from .fastpath import GreedyFastPath
 from .scheduling import select_gates
 from .swap_insertion import select_swaps
 
@@ -89,6 +90,11 @@ def greedy_compile(
         pending.setdefault(u, set()).add(v)
         pending.setdefault(v, set()).add(u)
 
+    # Numpy mirrors of (mapping, remaining, pending): the per-cycle
+    # executable and SWAP-candidate scans run vectorized but produce
+    # byte-identical results to the scalar loops they replace.
+    fast = GreedyFastPath(coupling, problem, mapping, noise)
+
     trace = GreedyTrace(circuit=circuit, initial_mapping=initial_mapping,
                         final_mapping=mapping)
     if record_snapshots:
@@ -109,14 +115,7 @@ def greedy_compile(
             break
         cycle += 1
 
-        executable = []
-        for u, v in coupling.edges:
-            lu, lv = mapping.logical(u), mapping.logical(v)
-            if lu is None or lv is None:
-                continue
-            pair = canonical_edge(lu, lv)
-            if pair in remaining:
-                executable.append((u, v, pair))
+        executable = fast.executable()
         if gate_selection == "color":
             scheduled = select_gates(executable, noise=noise,
                                      crosstalk_aware=crosstalk_aware)
@@ -127,6 +126,7 @@ def greedy_compile(
         for u, v, pair in scheduled:
             circuit.append(Op.cphase(u, v, gamma, tag=pair))
             remaining.discard(pair)
+            fast.mark_done(pair)
             a, b = pair
             pending[a].discard(b)
             pending[b].discard(a)
@@ -137,7 +137,7 @@ def greedy_compile(
             break
 
         swaps = select_swaps(coupling, mapping, pending, busy,
-                             noise=noise, matching=matching)
+                             noise=noise, matching=matching, fast=fast)
         if not scheduled and not swaps:
             swaps = [_forced_step(coupling, mapping, remaining)]
         for u, v in swaps:
@@ -148,10 +148,12 @@ def greedy_compile(
                     if pair in remaining:
                         circuit.append(Op.cphase(u, v, gamma, tag=pair))
                         remaining.discard(pair)
+                        fast.mark_done(pair)
                         pending[pair[0]].discard(pair[1])
                         pending[pair[1]].discard(pair[0])
             circuit.append(Op.swap(u, v))
             mapping.swap_physical(u, v)
+            fast.swap(u, v)
         if swaps and record_snapshots:
             trace.snapshots.append(Snapshot(cycle, len(circuit),
                                             mapping.copy(),

@@ -30,39 +30,72 @@ def detect_ranges(
     mapping: Mapping,
     remaining: Iterable[Tuple[int, int]],
 ) -> List[Tuple[AtaPattern, Set[Tuple[int, int]]]]:
-    """Regions (restricted patterns) with their edge groups, Fig 19 style."""
+    """Regions (restricted patterns) with their edge groups, Fig 19 style.
+
+    Overlapping regions are merged with a union-find sweep over a
+    qubit-ownership map: each round costs O(total region qubits), merges
+    every currently-overlapping cluster transitively, and re-restricts
+    only clusters that actually grew.  Region bounding boxes only grow
+    under union, so any overlap persists until merged — the result is
+    the same least fixpoint the quadratic restart-on-every-merge loop
+    computed, with final regions never re-restricted.
+    """
     remaining = list(remaining)
     if not remaining:
         return []
+    # Size the component graph by the true problem size, not the highest
+    # index with a *pending* edge — the graphs are equivalent (isolated
+    # vertices are omitted from components), but the problem's own vertex
+    # count is the honest bound and cannot be invalidated by whichever
+    # qubit happens to finish its edges first.
     components = ProblemGraph(
-        1 + max(q for e in remaining for q in e), remaining
-    ).connected_components()
+        mapping.n_logical, remaining).connected_components()
 
     groups: List[Set[int]] = [set(c) for c in components]
     regions: List[AtaPattern] = [
         pattern.restrict({mapping.physical(v) for v in group})
         for group in groups]
 
-    # Merge overlapping regions until a fixpoint.
-    merged = True
-    while merged:
-        merged = False
-        for i in range(len(regions)):
-            for j in range(i + 1, len(regions)):
-                if regions[i].region & regions[j].region:
-                    groups[i] |= groups[j]
-                    del groups[j], regions[j]
-                    regions[i] = pattern.restrict(
-                        {mapping.physical(v) for v in groups[i]})
-                    merged = True
-                    break
-            if merged:
-                break
+    n = len(regions)
+    parent = list(range(n))
 
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    while True:
+        owner: dict = {}
+        grew: Set[int] = set()
+        for i in range(n):
+            if find(i) != i:
+                continue
+            for q in regions[i].region:
+                j = find(owner.setdefault(q, i))
+                if j != i:
+                    # Keep the smaller original index as representative —
+                    # the order the pairwise loop preserved.
+                    keep, gone = (i, j) if i < j else (j, i)
+                    parent[gone] = keep
+                    groups[keep] |= groups[gone]
+                    grew.add(keep)
+                    if find(i) != i:
+                        break  # region i itself was absorbed
+        if not grew:
+            break
+        for i in sorted(grew):
+            if find(i) == i:
+                regions[i] = pattern.restrict(
+                    {mapping.physical(v) for v in groups[i]})
+
+    order = [i for i in range(n) if find(i) == i]
     edge_groups: List[Set[Tuple[int, int]]] = []
-    for group in groups:
+    for i in order:
+        group = groups[i]
         edge_groups.append({e for e in remaining if e[0] in group})
-    return list(zip(regions, edge_groups))
+    return [(regions[i], edge_group)
+            for i, edge_group in zip(order, edge_groups)]
 
 
 def ata_suffix(

@@ -52,6 +52,11 @@ def select_gates(
                     conflicts[i].append(j)
                     conflicts[j].append(i)
 
+    if not any(conflicts):
+        # Conflict-free cycle: every gate lands in colour 0 and the
+        # single colour class is returned whole, in input order.
+        return list(executable)
+
     # Greedy colouring in decreasing-conflict order.
     order = sorted(range(n), key=lambda i: -len(conflicts[i]))
     colour: Dict[int, int] = {}

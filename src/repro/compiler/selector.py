@@ -16,7 +16,7 @@ either — Theorem 6.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..arch.noise import NoiseModel
 from ..ir.circuit import Circuit
@@ -24,14 +24,32 @@ from ..ir.circuit import Circuit
 
 @dataclass
 class Candidate:
-    """One scored prefix+suffix combination."""
+    """One scored prefix+suffix combination.
+
+    ``circuit`` may be ``None`` for a lazily-scored candidate whose
+    metrics were streamed by :mod:`repro.ata.simulate`; ``materialize``
+    then rebuilds the real circuit on demand.  Only the selection
+    winner is ever materialised — the losing candidates' circuits are
+    never constructed at all.
+    """
 
     label: str
-    circuit: Circuit
+    circuit: Optional[Circuit]
     depth: int
     gate_count: int
     esp: Optional[float]
     score: float = 0.0
+    materialize: Optional[Callable[[], Circuit]] = None
+
+    def realized(self) -> Circuit:
+        """The candidate's circuit, materialising it if still lazy."""
+        if self.circuit is None:
+            if self.materialize is None:
+                raise ValueError(
+                    f"candidate {self.label!r} has no circuit and no "
+                    "materializer")
+            self.circuit = self.materialize()
+        return self.circuit
 
 
 def cost_f(

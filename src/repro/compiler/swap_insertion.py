@@ -103,6 +103,7 @@ def select_swaps(
     busy: Set[int],
     noise: Optional[NoiseModel] = None,
     matching: str = "greedy",
+    fast=None,
 ) -> List[Tuple[int, int]]:
     """Pick a disjoint set of beneficial SWAPs on idle qubits.
 
@@ -110,16 +111,23 @@ def select_swaps(
     later choices see the effect of earlier ones.  Without this, the two
     endpoints of a distant pending pair can each swap towards the other's
     old position every cycle and orbit forever.
+
+    ``fast`` is an optional :class:`repro.compiler.fastpath.GreedyFastPath`
+    kept in lockstep by the caller; when present the candidate scan is a
+    vectorized, byte-identical replica of the scalar loop below.
     """
-    candidates: List[SwapCandidate] = []
-    cache = _PartnerCache(mapping, pending)
-    for u, v in coupling.edges:
-        if u in busy or v in busy:
-            continue
-        benefit = swap_benefit(u, v, coupling, mapping, pending, cache)
-        if benefit <= 0:
-            continue
-        candidates.append((benefit * _link_factor(u, v, noise), u, v))
+    if fast is not None:
+        candidates = fast.swap_candidates(busy)
+    else:
+        candidates = []
+        cache = _PartnerCache(mapping, pending)
+        for u, v in coupling.edges:
+            if u in busy or v in busy:
+                continue
+            benefit = swap_benefit(u, v, coupling, mapping, pending, cache)
+            if benefit <= 0:
+                continue
+            candidates.append((benefit * _link_factor(u, v, noise), u, v))
 
     if not candidates:
         return []

@@ -47,6 +47,7 @@ class GreedyPass(Pass):
             max_cycles=max_cycles,
             unify_swaps=context.knob("unify_swaps", True))
         context.trace = trace
+        context.extras["greedy_cycles"] = trace.cycles
         if not self.record_snapshots:
             context.circuit = trace.circuit
         return True

@@ -12,8 +12,9 @@ from __future__ import annotations
 import time
 from typing import List, Sequence
 
+from ..ata.simulate import candidate_metrics, make_tracker
 from ..compiler.prediction import ata_suffix
-from ..compiler.selector import make_candidate
+from ..compiler.selector import Candidate, make_candidate
 from ..ir.circuit import Circuit
 from .base import Pass
 from .context import CompilationContext
@@ -54,15 +55,29 @@ class PredictionPass(Pass):
 
     def run(self, context: CompilationContext):
         context.require("mapping", "pattern")
-        circuit, _ = ata_suffix(
-            context.coupling, context.pattern, context.mapping,
-            context.problem.edges, gamma=context.gamma,
-            use_range_detection=context.knob("use_range_detection", True))
+        urd = context.knob("use_range_detection", True)
         if self.as_result:
+            circuit, _ = ata_suffix(
+                context.coupling, context.pattern, context.mapping,
+                context.problem.edges, gamma=context.gamma,
+                use_range_detection=urd)
             context.circuit = circuit
-        else:
-            context.candidates.append(
-                make_candidate("ata", circuit, context.noise))
+            return True
+        # Hybrid preset: cc0 joins the pool as a lazily-materialised
+        # candidate — its metrics are streamed by the simulator and the
+        # circuit is only built if it wins selection.
+        coupling, pattern = context.coupling, context.pattern
+        mapping, gamma = context.mapping, context.gamma
+        edges = context.problem.edges
+        depth, gates, esp = candidate_metrics(
+            coupling, pattern, mapping, edges, noise=context.noise,
+            use_range_detection=urd)
+        context.candidates.append(Candidate(
+            label="ata", circuit=None, depth=depth, gate_count=gates,
+            esp=esp,
+            materialize=lambda: ata_suffix(
+                coupling, pattern, mapping, edges, gamma=gamma,
+                use_range_detection=urd)[0]))
         return True
 
 
@@ -92,21 +107,41 @@ class CandidatePass(Pass):
         sampled = sample_snapshots(trace.snapshots,
                                    context.knob("max_predictions", 24))
         prediction_times: List[float] = []
+        coupling, pattern = context.coupling, context.pattern
+        gamma = context.gamma
+        urd = context.knob("use_range_detection", True)
+        # One streaming walk of the greedy circuit: the tracker is fed
+        # up to each sampled snapshot's op count (snapshots are in
+        # emission order) and forked there, so scoring all candidates
+        # costs one prefix pass plus one simulated suffix each — no
+        # intermediate circuits are built.
+        tracker = make_tracker(coupling.n_qubits, context.noise)
+        ops = trace.circuit.ops
+        fed = 0
         for snapshot in sampled:
             if not snapshot.remaining or snapshot.op_count == 0:
                 continue  # snapshot 0 duplicates the pure ATA candidate
             started = time.perf_counter()
-            prefix = Circuit(context.coupling.n_qubits,
-                             list(trace.circuit.ops[:snapshot.op_count]))
-            suffix_circuit, _ = ata_suffix(
-                context.coupling, context.pattern, snapshot.mapping,
-                snapshot.remaining, gamma=context.gamma,
-                use_range_detection=context.knob("use_range_detection",
-                                                 True),
-                circuit=prefix)
+            while fed < snapshot.op_count:
+                tracker.feed_op(ops[fed])
+                fed += 1
+            fork = tracker.copy()
+            depth, gates, esp = candidate_metrics(
+                coupling, pattern, snapshot.mapping, snapshot.remaining,
+                noise=context.noise, use_range_detection=urd,
+                prefix_tracker=fork)
             prediction_times.append(time.perf_counter() - started)
-            context.candidates.append(make_candidate(
-                f"hybrid@{snapshot.cycle}", suffix_circuit, context.noise))
+            op_count, mapping = snapshot.op_count, snapshot.mapping
+            remaining = snapshot.remaining
+            context.candidates.append(Candidate(
+                label=f"hybrid@{snapshot.cycle}", circuit=None,
+                depth=depth, gate_count=gates, esp=esp,
+                materialize=lambda op_count=op_count, mapping=mapping,
+                remaining=remaining: ata_suffix(
+                    coupling, pattern, mapping, remaining, gamma=gamma,
+                    use_range_detection=urd,
+                    circuit=Circuit(coupling.n_qubits,
+                                    list(ops[:op_count])))[0]))
         context.extras["candidates"] = {
             "count": len(context.candidates),
             "snapshots_total": len(trace.snapshots),

@@ -32,14 +32,23 @@ class SelectionPass(Pass):
             norm_depth = cc0.depth
             norm_gates = cc0.gate_count
         else:
-            norm_depth = trace.circuit.depth()
-            norm_gates = trace.circuit.cx_count(unify=True)
+            # The finished greedy circuit is candidate "greedy"; reuse
+            # its already-measured metrics rather than re-walking the
+            # circuit (identical values — same circuit, same measures).
+            greedy = next((c for c in context.candidates
+                           if c.label == "greedy"), None)
+            if greedy is not None:
+                norm_depth = greedy.depth
+                norm_gates = greedy.gate_count
+            else:
+                norm_depth = trace.circuit.depth()
+                norm_gates = trace.circuit.cx_count(unify=True)
         best = score_candidates(context.candidates,
                                 greedy_depth=norm_depth,
                                 greedy_gates=norm_gates,
                                 alpha=context.knob("alpha", 0.5))
         context.selected = best
-        context.circuit = best.circuit
+        context.circuit = best.realized()
         context.extras["selected"] = best.label
         context.extras["n_candidates"] = len(context.candidates)
         context.extras["scores"] = {c.label: c.score

@@ -1,0 +1,149 @@
+"""Simulated candidate metrics must equal the materialised circuit's.
+
+The lazy-candidate path scores prefix+suffix candidates with the
+streaming trackers in ``repro.ata.simulate``; selection only works if
+those numbers are *identical* (not approximately equal — esp feeds a
+float comparison) to what ``make_candidate`` measures on the real
+circuit built by ``ata_suffix``.  These tests sweep line / grid /
+heavy-hex devices, with and without a noise model, from both fresh
+mappings and greedy-prefix snapshots.
+"""
+
+import pytest
+
+from repro.arch import grid, heavyhex_for, line
+from repro.arch.noise import NoiseModel
+from repro.ata.registry import get_pattern
+from repro.ata.simulate import (ExactTracker, FastTracker,
+                                candidate_metrics, make_tracker)
+from repro.compiler.greedy import greedy_compile
+from repro.compiler.prediction import ata_suffix
+from repro.ir.circuit import Circuit
+from repro.ir.mapping import Mapping
+from repro.problems import regular_problem_graph
+
+
+def reference_metrics(circuit, noise):
+    return (circuit.depth(), circuit.cx_count(unify=True),
+            noise.esp(circuit) if noise is not None else None)
+
+
+DEVICES = [
+    pytest.param(lambda: line(12), 12, id="line12"),
+    pytest.param(lambda: grid(4, 5), 20, id="grid4x5"),
+    pytest.param(lambda: heavyhex_for(20), 18, id="heavyhex"),
+]
+
+
+@pytest.mark.parametrize("make_coupling, n_logical", DEVICES)
+@pytest.mark.parametrize("with_noise", [False, True], ids=["ideal", "noisy"])
+def test_pure_suffix_metrics_match(make_coupling, n_logical, with_noise):
+    coupling = make_coupling()
+    n_logical = min(n_logical, coupling.n_qubits)
+    problem = regular_problem_graph(n_logical, 3, seed=5)
+    mapping = Mapping.trivial(n_logical, coupling.n_qubits)
+    noise = NoiseModel(coupling, seed=3) if with_noise else None
+    pattern = get_pattern(coupling)
+
+    circuit, _ = ata_suffix(coupling, pattern, mapping, problem.edges,
+                            gamma=0.7)
+    assert candidate_metrics(coupling, pattern, mapping, problem.edges,
+                             noise=noise) == reference_metrics(circuit,
+                                                               noise)
+
+
+@pytest.mark.parametrize("make_coupling, n_logical", DEVICES)
+@pytest.mark.parametrize("with_noise", [False, True], ids=["ideal", "noisy"])
+def test_prefix_fork_metrics_match(make_coupling, n_logical, with_noise):
+    """Greedy prefix + ATA suffix at every snapshot, via tracker forking."""
+    coupling = make_coupling()
+    n_logical = min(n_logical, coupling.n_qubits)
+    problem = regular_problem_graph(n_logical, 3, seed=9)
+    mapping = Mapping.trivial(n_logical, coupling.n_qubits)
+    noise = NoiseModel(coupling, seed=3) if with_noise else None
+    pattern = get_pattern(coupling)
+
+    trace = greedy_compile(coupling, problem, mapping, noise=noise,
+                           gamma=0.4, max_cycles=6)
+    tracker = make_tracker(coupling.n_qubits, noise)
+    fed = 0
+    checked = 0
+    for snapshot in trace.snapshots:
+        if not snapshot.remaining or snapshot.op_count == 0:
+            continue
+        while fed < snapshot.op_count:
+            tracker.feed_op(trace.circuit.ops[fed])
+            fed += 1
+        fork = tracker.copy()
+        simulated = candidate_metrics(
+            coupling, pattern, snapshot.mapping, snapshot.remaining,
+            noise=noise, prefix_tracker=fork)
+        prefix = Circuit(coupling.n_qubits,
+                         list(trace.circuit.ops[:snapshot.op_count]))
+        circuit, _ = ata_suffix(coupling, pattern, snapshot.mapping,
+                                snapshot.remaining, gamma=0.4,
+                                circuit=prefix)
+        assert simulated == reference_metrics(circuit, noise)
+        checked += 1
+    assert checked > 0
+
+
+def test_tracker_choice_by_noise():
+    coupling = line(6)
+    assert isinstance(make_tracker(6, None), FastTracker)
+    assert isinstance(make_tracker(6, NoiseModel(coupling)), ExactTracker)
+
+
+def test_trackers_agree_on_shared_metrics():
+    """FastTracker and ExactTracker see the same depth and CX count."""
+    coupling = grid(3, 4)
+    problem = regular_problem_graph(12, 3, seed=2)
+    mapping = Mapping.trivial(12, coupling.n_qubits)
+    pattern = get_pattern(coupling)
+    fast = candidate_metrics(coupling, pattern, mapping, problem.edges)
+    exact = candidate_metrics(coupling, pattern, mapping, problem.edges,
+                              prefix_tracker=ExactTracker(
+                                  coupling.n_qubits))
+    assert fast[:2] == exact[:2]
+
+
+def test_compiled_plan_matches_generated_cycles():
+    """The distinct-cycle replay must equal the generator walk exactly —
+    same cycles, same intra-cycle action order."""
+    from repro.ata.grid_pattern import OptimizedGridPattern
+    from repro.ata.heavyhex_pattern import HeavyHexPattern
+    from repro.ata.line_pattern import LinePattern
+
+    patterns = [
+        LinePattern(list(range(2))),
+        LinePattern(list(range(7))),
+        LinePattern(list(range(10))),
+        OptimizedGridPattern([[0, 1, 2]]),
+        OptimizedGridPattern([[0], [1], [2]]),
+        OptimizedGridPattern([[0, 1], [2, 3], [4, 5]]),
+        OptimizedGridPattern([[0, 1, 2, 3], [4, 5, 6, 7],
+                              [8, 9, 10, 11], [12, 13, 14, 15]]),
+        OptimizedGridPattern([[c + 5 * r for c in range(5)]
+                              for r in range(4)]),
+        HeavyHexPattern(list(range(9)), {}),
+        HeavyHexPattern([0, 1, 2, 3, 4], {5: [1, 3], 6: [0, 4]}),
+    ]
+    for pattern in patterns:
+        distinct, schedule = pattern._compiled_plan()
+        replayed = [distinct[i] for i in schedule]
+        generated = [list(cycle) for cycle in pattern.cycles()]
+        assert replayed == generated, repr(pattern)
+
+
+def test_fork_does_not_disturb_parent():
+    """Forked suffix simulation must leave the prefix tracker reusable."""
+    coupling = line(8)
+    problem = regular_problem_graph(8, 3, seed=4)
+    mapping = Mapping.trivial(8, coupling.n_qubits)
+    pattern = get_pattern(coupling)
+    parent = make_tracker(coupling.n_qubits, None)
+    first = candidate_metrics(coupling, pattern, mapping, problem.edges,
+                              prefix_tracker=parent.copy())
+    second = candidate_metrics(coupling, pattern, mapping, problem.edges,
+                               prefix_tracker=parent.copy())
+    assert first == second

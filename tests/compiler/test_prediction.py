@@ -54,6 +54,88 @@ class TestDetectRanges:
         plan = detect_ranges(pattern, mapping, [(0, 1), (2, 3)])
         assert len(plan) == 2
 
+    def test_highest_index_qubit_finishing_first_is_harmless(self):
+        """Regression: the component graph is sized by the problem's true
+        vertex count, not ``1 + max(pending index)``.
+
+        When the highest-index logical qubits complete their edges first,
+        ``remaining`` stops mentioning them; the detector must neither
+        shrink the vertex space under them nor route their pairs again.
+        """
+        coupling = line(10)
+        pattern = get_pattern(coupling)
+        mapping = Mapping.trivial(10)
+        # Qubits 5..9 already finished; their indices exceed every pending
+        # endpoint.  Components {0,3} and {2,4} overlap as segments.
+        plan = detect_ranges(pattern, mapping, [(0, 3), (2, 4)])
+        assert len(plan) == 1
+        region, edges = plan[0]
+        assert edges == {(0, 3), (2, 4)}
+        assert region.region == frozenset(range(5))
+        # Same remaining edges under a permuted mapping that parks the
+        # finished qubits inside the pending qubits' physical span: the
+        # region may cover their positions, but no edge group may ever
+        # resurrect a finished pair.
+        shuffled = Mapping([0, 2, 4, 6, 8, 1, 3, 5, 7, 9], 10)
+        plan = detect_ranges(pattern, shuffled, [(0, 3), (2, 4)])
+        grouped = set().union(*(e for _, e in plan))
+        assert grouped == {(0, 3), (2, 4)}
+
+    def test_union_find_merge_matches_quadratic_reference(self):
+        """The ownership-sweep merge must reach the same fixpoint, in the
+        same output order, as the restart-on-every-merge reference."""
+        import random
+
+        from repro.problems.graphs import ProblemGraph
+
+        def reference_detect_ranges(pattern, mapping, remaining):
+            remaining = list(remaining)
+            if not remaining:
+                return []
+            components = ProblemGraph(
+                mapping.n_logical, remaining).connected_components()
+            groups = [set(c) for c in components]
+
+            def restrict(group):
+                return pattern.restrict(
+                    {mapping.physical(v) for v in group})
+
+            regions = [restrict(g) for g in groups]
+            changed = True
+            while changed:
+                changed = False
+                for i in range(len(groups)):
+                    for j in range(i + 1, len(groups)):
+                        if regions[i].region & regions[j].region:
+                            groups[i] |= groups.pop(j)
+                            regions.pop(j)
+                            regions[i] = restrict(groups[i])
+                            changed = True
+                            break
+                    if changed:
+                        break
+            return [(r, {e for e in remaining if e[0] in g})
+                    for r, g in zip(regions, groups)]
+
+        rng = random.Random(17)
+        couplings = [line(24), grid(6, 6), heavyhex(2, 6)]
+        for coupling in couplings:
+            pattern = get_pattern(coupling)
+            n = coupling.n_qubits
+            positions = list(range(n))
+            for trial in range(8):
+                rng.shuffle(positions)
+                n_logical = n - rng.randrange(0, 4)
+                mapping = Mapping(positions[:n_logical], n)
+                pairs = {tuple(sorted(rng.sample(range(n_logical), 2)))
+                         for _ in range(rng.randrange(1, 12))}
+                remaining = sorted(pairs)
+                got = detect_ranges(pattern, mapping, remaining)
+                want = reference_detect_ranges(pattern, mapping, remaining)
+                assert ([(r.region, e) for r, e in got]
+                        == [(r.region, e) for r, e in want]), (
+                    coupling.name, trial, remaining)
+
 
 class TestAtaSuffix:
     def test_suffix_completes_remaining_edges(self):

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Regenerate ``golden64.json`` — the 64-qubit byte-identity fixtures.
+
+Every registered compiler method is run on fixed 64-logical-qubit
+instances (an 8x8 grid and the smallest heavy-hex holding 64 qubits,
+each with a denser single-component problem and a sparser
+multi-component one) and the sha256 of the canonically serialised
+circuit is pinned, together with depth / CX / swap counts for
+debuggability.  The equivalence suite
+(``tests/pipeline/test_golden_fixtures.py``) recompiles each entry and
+asserts the hash — i.e. the *byte-identical* circuit — is unchanged.
+
+The fixtures exist so performance rewrites of the hot path (numpy
+bitsets, vectorized pattern execution, incremental range detection) can
+prove they are pure restructures.  Regenerate **only** when an
+intentional behaviour change lands, and say so in the commit message::
+
+    PYTHONPATH=src python tests/pipeline/fixtures/generate.py
+
+``optimal`` is excluded (exact solver; 64q is far beyond its reach).
+``olsq`` runs with a reduced search budget so the suite stays fast; the
+knobs are part of the fixture and applied identically at test time.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+FIXTURE_DIR = Path(__file__).resolve().parent
+REPO_ROOT = FIXTURE_DIR.parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.arch import grid  # noqa: E402
+from repro.arch.heavyhex import heavyhex_for  # noqa: E402
+from repro.compiler import compile_qaoa  # noqa: E402
+from repro.ir.serialize import circuit_to_dict  # noqa: E402
+from repro.problems import random_problem_graph  # noqa: E402
+
+GAMMA = 0.4
+
+#: (label, factory) — instantiated fresh for every compilation.
+ARCHITECTURES = (
+    ("grid-8x8", lambda: grid(8, 8)),
+    ("heavyhex-64", lambda: heavyhex_for(64)),
+)
+
+#: (label, n, density, seed).  0.08/seed 7 is a single dense component;
+#: 0.03/seed 13 splits into several components, exercising range
+#: detection and region merging in the ATA suffix.
+PROBLEMS = (
+    ("rand-64-0.08-s7", 64, 0.08, 7),
+    ("rand-64-0.03-s13", 64, 0.03, 13),
+)
+
+#: method -> extra compile options (fixture contract, applied at test time).
+METHOD_OPTIONS = {
+    "olsq": {"exact_node_budget": 2_000, "beam_width": 24,
+             "children_per_state": 16},
+}
+
+#: Methods never run at 64 qubits.
+EXCLUDED_METHODS = ("optimal",)
+
+
+def circuit_digest(circuit) -> str:
+    import hashlib
+
+    payload = json.dumps(circuit_to_dict(circuit), sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def main() -> int:
+    from repro.pipeline.registry import available_methods
+
+    methods = [m for m in available_methods() if m not in EXCLUDED_METHODS]
+    entries = []
+    for arch_label, arch_factory in ARCHITECTURES:
+        for prob_label, n, density, seed in PROBLEMS:
+            coupling = arch_factory()
+            problem = random_problem_graph(n, density, seed=seed)
+            for method in methods:
+                options = METHOD_OPTIONS.get(method, {})
+                result = compile_qaoa(coupling, problem, method=method,
+                                      gamma=GAMMA, **options)
+                result.validate(coupling, problem)
+                entry = {
+                    "arch": arch_label,
+                    "problem": prob_label,
+                    "method": method,
+                    "sha256": circuit_digest(result.circuit),
+                    "depth": result.depth(),
+                    "cx": result.circuit.cx_count(unify=True),
+                    "swaps": result.circuit.swap_count,
+                }
+                entries.append(entry)
+                print(f"{arch_label:12s} {prob_label:18s} {method:12s} "
+                      f"depth={entry['depth']:4d} cx={entry['cx']:5d} "
+                      f"{entry['sha256'][:12]}", flush=True)
+
+    document = {
+        "generated_by": "tests/pipeline/fixtures/generate.py",
+        "gamma": GAMMA,
+        "method_options": METHOD_OPTIONS,
+        "entries": entries,
+    }
+    out = FIXTURE_DIR / "golden64.json"
+    out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {len(entries)} entries to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""64-qubit byte-identity suite (ISSUE 6 acceptance).
+
+Recompiles every pinned ``tests/pipeline/fixtures/golden64.json`` entry —
+64-logical-qubit grid and heavy-hex instances across all registered
+methods — and asserts the serialised circuit is *byte-identical* to the
+fixture (sha256 over the canonical JSON form).  This is the safety net
+that lets the numpy hot-path rewrite claim it is a pure restructure.
+
+If a fixture mismatch is intentional (a real behaviour change), rerun
+``tests/pipeline/fixtures/generate.py`` and explain the change in the
+commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.arch import grid
+from repro.arch.heavyhex import heavyhex_for
+from repro.compiler import compile_qaoa
+from repro.problems import random_problem_graph
+
+from .fixtures.generate import (ARCHITECTURES, PROBLEMS, circuit_digest)
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden64.json"
+DOCUMENT = json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+
+ARCH_FACTORIES = dict(ARCHITECTURES)
+PROBLEM_SPECS = {label: (n, density, seed)
+                 for label, n, density, seed in PROBLEMS}
+
+assert ARCH_FACTORIES.keys() == {"grid-8x8", "heavyhex-64"}
+
+
+def _params():
+    for index, entry in enumerate(DOCUMENT["entries"]):
+        label = f"{entry['arch']}-{entry['problem']}-{entry['method']}"
+        yield pytest.param(index, id=label)
+
+
+class TestGolden64:
+    def test_fixtures_are_fresh(self):
+        """The fixture file must cover every (arch, problem) pair."""
+        seen = {(e["arch"], e["problem"]) for e in DOCUMENT["entries"]}
+        assert seen == {(a, p) for a in ARCH_FACTORIES
+                        for p in PROBLEM_SPECS}
+
+    @pytest.mark.parametrize("index", _params())
+    def test_circuit_byte_identical(self, index):
+        entry = DOCUMENT["entries"][index]
+        coupling = ARCH_FACTORIES[entry["arch"]]()
+        n, density, seed = PROBLEM_SPECS[entry["problem"]]
+        problem = random_problem_graph(n, density, seed=seed)
+        options = DOCUMENT["method_options"].get(entry["method"], {})
+        result = compile_qaoa(coupling, problem, method=entry["method"],
+                              gamma=DOCUMENT["gamma"], **options)
+        assert result.depth() == entry["depth"]
+        assert result.circuit.cx_count(unify=True) == entry["cx"]
+        assert result.circuit.swap_count == entry["swaps"]
+        assert circuit_digest(result.circuit) == entry["sha256"], (
+            f"{entry['method']} on {entry['arch']}/{entry['problem']} no "
+            "longer produces a byte-identical circuit; if intentional, "
+            "regenerate tests/pipeline/fixtures/golden64.json")
