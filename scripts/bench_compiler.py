@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Benchmark the end-to-end ``compile_qaoa`` hot path at paper scale.
+
+Times the hybrid method (the paper's headline configuration: greedy
+processing + ATA-suffix candidates + cost-F selection) on pinned
+3-regular QAOA workloads over the three architecture families the paper
+evaluates — line, grid and heavy-hex — at 256/512/1024 logical qubits
+(Section 7's scaling regime), and **appends** a run record to the
+``BENCH_compiler.json`` trajectory at the repository root (see
+:mod:`repro.bench`).  Problem seeds are pinned so successive runs are
+directly comparable; each row records wall-clock, greedy cycles, depth,
+CX count and SWAP count.
+
+Acceptance (ISSUE 6): the latest full run must clear a **>= 5x**
+wall-clock speedup on the 1024-qubit grid sweep against the trajectory's
+``baseline``-labelled full run (the pre-optimization compiler, recorded
+on the same machine).  A run labelled ``baseline`` records the reference
+point and is exempt from the gate.  Smoke mode (CI) compiles reduced
+sizes under a generous absolute wall budget and re-validates the
+committed trajectory's acceptance block — machine-independent checks
+that fail the job when the gate regresses.
+
+Usage::
+
+    python scripts/bench_compiler.py                  # full sweep
+    python scripts/bench_compiler.py --label baseline # record the baseline
+    python scripts/bench_compiler.py --smoke          # CI-sized (64/128q)
+    python scripts/bench_compiler.py --output /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.arch import grid, line  # noqa: E402
+from repro.arch.heavyhex import heavyhex_for  # noqa: E402
+from repro.bench import append_run, baseline_run, latest_run  # noqa: E402
+from repro.bench import read_trajectory  # noqa: E402
+from repro.compiler import compile_qaoa  # noqa: E402
+from repro.problems.graphs import regular_problem_graph  # noqa: E402
+
+#: Wall-clock speedup the 1024q grid sweep must clear vs the baseline.
+GRID_1024_SPEEDUP_THRESHOLD = 5.0
+
+#: The instance the acceptance gate is measured on.
+GATE_INSTANCE = "grid-32x32/reg-1024-d3-s11"
+
+#: Pinned workload seed (3-regular problems, the paper's sparse regime).
+PROBLEM_SEED = 11
+PROBLEM_DEGREE = 3
+
+#: Per-instance wall budget in smoke mode (generous: post-optimization
+#: 128q compiles take well under a second; this only catches blowups).
+SMOKE_WALL_BUDGET_S = 60.0
+
+#: (n_logical, grid_rows, grid_cols) per mode.
+FULL_SIZES = ((256, 16, 16), (512, 16, 32), (1024, 32, 32))
+SMOKE_SIZES = ((64, 8, 8), (128, 8, 16))
+
+
+def instances(smoke: bool):
+    """(name, coupling, problem) triples over line/grid/heavy-hex."""
+    out = []
+    for n, rows, cols in (SMOKE_SIZES if smoke else FULL_SIZES):
+        problem = regular_problem_graph(n, PROBLEM_DEGREE,
+                                        seed=PROBLEM_SEED)
+        for coupling in (line(n), grid(rows, cols), heavyhex_for(n)):
+            out.append((f"{coupling.name}/{problem.name}", coupling,
+                        problem))
+    return out
+
+
+def bench_instance(name, coupling, problem):
+    t0 = time.perf_counter()
+    result = compile_qaoa(coupling, problem, method="hybrid", gamma=0.4)
+    wall_s = time.perf_counter() - t0
+    row = {
+        "name": name,
+        "arch": coupling.name,
+        "problem": problem.name,
+        "n_logical": problem.n_vertices,
+        "n_physical": coupling.n_qubits,
+        "method": "hybrid",
+        "wall_s": round(wall_s, 4),
+        "cycles": result.extra.get("greedy_cycles"),
+        "depth": result.depth(),
+        "cx": result.circuit.cx_count(unify=True),
+        "swaps": result.swap_count,
+        "selected": result.extra.get("selected"),
+    }
+    print(f"{name:32s} wall={row['wall_s']:8.3f}s cycles={row['cycles']:4} "
+          f"depth={row['depth']:4d} cx={row['cx']:6d} "
+          f"swaps={row['swaps']:6d} [{row['selected']}]", flush=True)
+    return row
+
+
+def check_full_gate(trajectory, this_run) -> list:
+    """Latest full run vs the baseline full run on the gate instance."""
+    failures = []
+    base = baseline_run(trajectory, mode="full")
+    if base is None or base["run_id"] == this_run["run_id"]:
+        print("no prior full baseline — this run is the reference point")
+        return failures
+    base_row = {r["name"]: r for r in base["instances"]}.get(GATE_INSTANCE)
+    this_row = {r["name"]: r
+                for r in this_run["instances"]}.get(GATE_INSTANCE)
+    if base_row is None or this_row is None:
+        failures.append(f"gate instance {GATE_INSTANCE} missing from "
+                        "baseline or current run")
+        return failures
+    speedup = base_row["wall_s"] / max(1e-9, this_row["wall_s"])
+    print(f"gate: {GATE_INSTANCE} {base_row['wall_s']}s -> "
+          f"{this_row['wall_s']}s ({speedup:.2f}x, "
+          f"threshold {GRID_1024_SPEEDUP_THRESHOLD}x)")
+    this_run["acceptance"] = {
+        "gate_instance": GATE_INSTANCE,
+        "baseline_run_id": base["run_id"],
+        "baseline_wall_s": base_row["wall_s"],
+        "wall_s": this_row["wall_s"],
+        "speedup_wall": round(speedup, 2),
+        "threshold": GRID_1024_SPEEDUP_THRESHOLD,
+        "ok": speedup >= GRID_1024_SPEEDUP_THRESHOLD,
+    }
+    if speedup < GRID_1024_SPEEDUP_THRESHOLD:
+        failures.append(
+            f"{GATE_INSTANCE} wall-clock speedup {speedup:.2f}x is below "
+            f"the {GRID_1024_SPEEDUP_THRESHOLD}x acceptance bar")
+    return failures
+
+
+def check_committed_trajectory(path: Path) -> list:
+    """CI cross-check: the committed trajectory must clear its own gate."""
+    failures = []
+    if not path.exists():
+        failures.append(f"committed trajectory {path} is missing")
+        return failures
+    trajectory = read_trajectory(path, "compiler")
+    full = latest_run(trajectory, mode="full")
+    if full is None:
+        failures.append(f"{path} has no full run recorded")
+        return failures
+    acceptance = full.get("acceptance")
+    if not acceptance:
+        failures.append(f"{path} latest full run (run {full['run_id']}) "
+                        "carries no acceptance block")
+    elif not acceptance.get("ok"):
+        failures.append(
+            f"{path} latest full run records speedup "
+            f"{acceptance.get('speedup_wall')}x < "
+            f"{acceptance.get('threshold')}x on "
+            f"{acceptance.get('gate_instance')}")
+    else:
+        print(f"committed gate ok: {acceptance['speedup_wall']}x on "
+              f"{acceptance['gate_instance']} (run {full['run_id']})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized instances (64/128q, seconds)")
+    parser.add_argument("--output", default=str(REPO_ROOT /
+                                                "BENCH_compiler.json"),
+                        help="trajectory file to append the run to")
+    parser.add_argument("--label", default="",
+                        help="optional run label (e.g. 'baseline')")
+    parser.add_argument("--wall-budget", type=float,
+                        default=SMOKE_WALL_BUDGET_S,
+                        help="per-instance wall budget in smoke mode")
+    args = parser.parse_args(argv)
+
+    rows = [bench_instance(name, coupling, problem)
+            for name, coupling, problem in instances(args.smoke)]
+
+    run = {
+        "generated_by": "scripts/bench_compiler.py",
+        "mode": "smoke" if args.smoke else "full",
+        "method": "hybrid",
+        "problem_seed": PROBLEM_SEED,
+        "problem_degree": PROBLEM_DEGREE,
+        "instances": rows,
+    }
+    if args.label:
+        run["label"] = args.label
+
+    failures = []
+    if args.smoke:
+        for row in rows:
+            if row["wall_s"] > args.wall_budget:
+                failures.append(
+                    f"{row['name']}: wall {row['wall_s']}s exceeds the "
+                    f"{args.wall_budget}s smoke budget")
+        failures.extend(
+            check_committed_trajectory(REPO_ROOT / "BENCH_compiler.json"))
+        run["acceptance"] = {"wall_budget_s": args.wall_budget,
+                             "ok": not failures}
+        append_run(args.output, run, benchmark="compiler")
+    else:
+        # Append first so the gate compares records of the same file,
+        # then rewrite with the acceptance block filled in.
+        trajectory = append_run(args.output, run, benchmark="compiler")
+        this_run = trajectory["runs"][-1]
+        failures.extend(check_full_gate(trajectory, this_run))
+        import json
+        Path(args.output).write_text(
+            json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+
+    print(f"run appended to {args.output}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
