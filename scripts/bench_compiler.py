@@ -65,20 +65,32 @@ SMOKE_SIZES = ((64, 8, 8), (128, 8, 16))
 
 
 def instances(smoke: bool):
-    """(name, coupling, problem) triples over line/grid/heavy-hex."""
+    """(name, coupling, problem, layers) over line/grid/heavy-hex.
+
+    Smoke mode additionally times a p=2 grid instance so the program
+    assembly (reversed-layer cancellation) stays on the CI hot path.
+    """
     out = []
     for n, rows, cols in (SMOKE_SIZES if smoke else FULL_SIZES):
         problem = regular_problem_graph(n, PROBLEM_DEGREE,
                                         seed=PROBLEM_SEED)
         for coupling in (line(n), grid(rows, cols), heavyhex_for(n)):
             out.append((f"{coupling.name}/{problem.name}", coupling,
-                        problem))
+                        problem, 1))
+    if smoke:
+        n, rows, cols = SMOKE_SIZES[0]
+        problem = regular_problem_graph(n, PROBLEM_DEGREE,
+                                        seed=PROBLEM_SEED)
+        coupling = grid(rows, cols)
+        out.append((f"{coupling.name}/{problem.name}-p2", coupling,
+                    problem, 2))
     return out
 
 
-def bench_instance(name, coupling, problem):
+def bench_instance(name, coupling, problem, layers=1):
     t0 = time.perf_counter()
-    result = compile_qaoa(coupling, problem, method="hybrid", gamma=0.4)
+    result = compile_qaoa(coupling, problem, method="hybrid", gamma=0.4,
+                          layers=layers)
     wall_s = time.perf_counter() - t0
     row = {
         "name": name,
@@ -87,6 +99,7 @@ def bench_instance(name, coupling, problem):
         "n_logical": problem.n_vertices,
         "n_physical": coupling.n_qubits,
         "method": "hybrid",
+        "layers": layers,
         "wall_s": round(wall_s, 4),
         "cycles": result.extra.get("greedy_cycles"),
         "depth": result.depth(),
@@ -94,6 +107,9 @@ def bench_instance(name, coupling, problem):
         "swaps": result.swap_count,
         "selected": result.extra.get("selected"),
     }
+    if layers > 1 and result.program is not None:
+        row["program_ops"] = result.program.n_ops()
+        row["program_identity"] = result.program.net_permutation_is_identity
     print(f"{name:32s} wall={row['wall_s']:8.3f}s cycles={row['cycles']:4} "
           f"depth={row['depth']:4d} cx={row['cx']:6d} "
           f"swaps={row['swaps']:6d} [{row['selected']}]", flush=True)
@@ -175,8 +191,8 @@ def main(argv=None) -> int:
                         help="per-instance wall budget in smoke mode")
     args = parser.parse_args(argv)
 
-    rows = [bench_instance(name, coupling, problem)
-            for name, coupling, problem in instances(args.smoke)]
+    rows = [bench_instance(name, coupling, problem, layers)
+            for name, coupling, problem, layers in instances(args.smoke)]
 
     run = {
         "generated_by": "scripts/bench_compiler.py",

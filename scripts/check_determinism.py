@@ -36,7 +36,8 @@ from typing import Iterable, Iterator, List, Set, Tuple
 #: Directories scanned when none are given (relative to the repo root).
 DEFAULT_HOT_PATHS = ("src/repro/compiler", "src/repro/ata",
                      "src/repro/pipeline", "src/repro/solver",
-                     "src/repro/resilience", "src/repro/bench")
+                     "src/repro/resilience", "src/repro/bench",
+                     "src/repro/ir")
 
 #: Calls whose result iterates in hash order.
 SET_CONSTRUCTORS = {"set", "frozenset"}

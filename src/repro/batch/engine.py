@@ -216,8 +216,11 @@ def _run_job(job: BatchJob, timeout_s: Optional[float],
 
         coupling, problem, noise = job.build()
         compiler = resolve_compiler(job.method)
+        options = dict(job.options)
+        options.setdefault("layers", job.layers)
+        options.setdefault("mixer", job.mixer)
         result = compiler(coupling, problem, noise=noise,
-                          gamma=job.gamma, **dict(job.options))
+                          gamma=job.gamma, **options)
         if job.lint:
             # Lint before validating: the linter collects *all*
             # findings, so its report must survive even when the
@@ -461,7 +464,8 @@ class BatchReport:
                         "arch": r.job.arch, "n_qubits": r.job.n_qubits,
                         "workload": r.job.workload,
                         "density": r.job.density, "seed": r.job.seed,
-                        "method": r.job.method,
+                        "method": r.job.method, "layers": r.job.layers,
+                        "mixer": r.job.mixer,
                     },
                     "ok": r.ok,
                     "wall_time_s": r.wall_time_s,

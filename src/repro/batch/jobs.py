@@ -46,6 +46,12 @@ class BatchJob:
     seed: int = 0
     method: str = "hybrid"
     gamma: float = 0.0
+    #: Program depth p: the compiled cost layer is assembled into this
+    #: many alternating cost / reversed-cost layers (plus mixer walls).
+    layers: int = 1
+    #: ``"rx"`` interleaves mixer walls into the program; ``"none"``
+    #: emits cost layers only (Trotterization schedules).
+    mixer: str = "rx"
     use_noise: bool = False
     validate: bool = True
     #: Run the circuit linter (:mod:`repro.lint`) over the compiled
@@ -68,6 +74,11 @@ class BatchJob:
             raise ValueError(
                 f"unknown workload {self.workload!r}; "
                 f"expected one of {WORKLOADS}")
+        if self.layers < 1:
+            raise ValueError(f"layers must be >= 1 (got {self.layers})")
+        if self.mixer not in ("rx", "none"):
+            raise ValueError(
+                f"unknown mixer {self.mixer!r}; expected 'rx' or 'none'")
         resolve_compiler(self.method)  # fail fast on unknown methods
 
     @property
@@ -80,7 +91,9 @@ class BatchJob:
         else:
             instance = (f"{self.workload}-{self.n_qubits}"
                         f"-{self.density:g}-s{self.seed}")
-        return f"{self.arch}/{instance}/{self.method}"
+        method = self.method if self.layers == 1 \
+            else f"{self.method}-p{self.layers}"
+        return f"{self.arch}/{instance}/{method}"
 
     def with_options(self, **options) -> "BatchJob":
         """A copy with extra compiler keyword arguments merged in."""

@@ -101,10 +101,20 @@ def build_parser() -> argparse.ArgumentParser:
                            help="any registered compiler method: "
                                 f"{', '.join(available_methods())}")
     compile_p.add_argument("--gamma", type=float, default=0.0)
+    compile_p.add_argument("--layers", type=_positive_int, default=1,
+                           metavar="P",
+                           help="assemble a p-layer program (odd layers "
+                                "replay the cost layer reversed so the "
+                                "qubit permutation cancels pairwise)")
+    compile_p.add_argument("--mixer", default="rx", choices=["rx", "none"],
+                           help="interleave RX mixer walls ('rx', QAOA) "
+                                "or emit cost layers only ('none', "
+                                "Trotterization)")
     compile_p.add_argument("--noise", action="store_true",
                            help="use a synthetic noise calibration")
     compile_p.add_argument("--qasm", metavar="FILE",
-                           help="write the compiled circuit as OpenQASM 2.0")
+                           help="write the compiled circuit as OpenQASM 2.0 "
+                                "(the flattened program when --layers > 1)")
     compile_p.add_argument("--telemetry", action="store_true",
                            help="print per-stage timings and cache stats")
 
@@ -129,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch_p.add_argument("--method", default="hybrid",
                          help="comma-separated compiler methods; any of: "
                               f"{', '.join(available_methods())}")
+    batch_p.add_argument("--layers", type=_positive_int, default=1,
+                         metavar="P",
+                         help="program depth p for every job (default 1)")
+    batch_p.add_argument("--mixer", default="rx", choices=["rx", "none"],
+                         help="mixer style for assembled programs")
     batch_p.add_argument("--workers", type=_positive_int, default=None,
                          help="pool size (default: min(jobs, CPU count))")
     batch_p.add_argument("--timeout", type=_positive_float, default=None,
@@ -239,12 +254,19 @@ def _cmd_compile(args) -> int:
     coupling = architecture_for(args.arch, args.qubits)
     noise = NoiseModel(coupling, seed=args.seed) if args.noise else None
     result = compile_qaoa(coupling, problem, method=args.method,
-                          noise=noise, gamma=args.gamma)
+                          noise=noise, gamma=args.gamma,
+                          layers=args.layers, mixer=args.mixer)
     result.validate(coupling, problem)
     metrics = result_metrics(result, noise)
     print(f"problem:  {problem}")
     print(f"device:   {coupling}")
     print(f"method:   {result.method}")
+    if result.program is not None and args.layers > 1:
+        program = result.program
+        print(f"program:  p={program.p} mixer={program.mixer} "
+              f"({len(program.layers)} layers, {program.n_ops()} ops, "
+              f"{program.swap_count()} swaps, net permutation "
+              f"{'identity' if program.net_permutation_is_identity else 'nontrivial'})")
     for key, value in metrics.items():
         print(f"{key:>8}: {value:.4g}" if isinstance(value, float)
               else f"{key:>8}: {value}")
@@ -259,9 +281,15 @@ def _cmd_compile(args) -> int:
             print(f"cache {cache}: {delta['hits']} hits / "
                   f"{delta['misses']} misses")
     if args.qasm:
+        if result.program is not None and args.layers > 1:
+            exported = result.program.flatten()
+            comment = (f"{problem.name} on {coupling.name} "
+                       f"(p={result.program.p} program, flattened)")
+        else:
+            exported = result.circuit
+            comment = f"{problem.name} on {coupling.name}"
         with open(args.qasm, "w") as handle:
-            handle.write(to_qasm(result.circuit,
-                                 comment=f"{problem.name} on {coupling.name}"))
+            handle.write(to_qasm(exported, comment=comment))
         print(f"qasm written to {args.qasm}")
     return 0
 
@@ -287,7 +315,8 @@ def _cmd_batch(args) -> int:
             args.arch, args.qubits, methods=methods,
             workloads=(args.workload,), density=args.density,
             seeds=tuple(range(args.seed, args.seed + args.count)),
-            validate=not args.no_validate, lint=args.lint)
+            validate=not args.no_validate, lint=args.lint,
+            layers=args.layers, mixer=args.mixer)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -62,6 +62,17 @@ def compile_qaoa(
     Pass ``on_pass_end=callback`` to observe each pipeline pass as it
     finishes.
 
+    Every method additionally understands the program-assembly knobs
+    ``layers`` (p, default 1), ``mixer`` (``"rx"`` / ``"none"``) and the
+    optional per-layer angle schedules ``gammas`` / ``betas``: the
+    compiled cost layer is assembled into a p-layer
+    :class:`~repro.ir.program.Program` (odd layers replay the compiled
+    layer in reversed op order so the net qubit permutation cancels
+    pairwise), attached as ``CompiledResult.program`` with summary
+    telemetry in ``extra["program"]``.  ``CompiledResult.circuit`` is
+    always the single cost layer, byte-identical across ``layers``
+    values.
+
     The returned circuit is validated in tests against the semantic
     validator for every method.
     """

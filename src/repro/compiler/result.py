@@ -3,24 +3,35 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..arch.coupling import CouplingGraph
 from ..arch.noise import NoiseModel
 from ..ir.circuit import Circuit
 from ..ir.mapping import Mapping
-from ..ir.validate import ValidationReport, validate_compiled
+from ..ir.program import Program
+from ..ir.validate import (ValidationReport, validate_compiled,
+                           validate_program)
 from ..problems.graphs import ProblemGraph
 
 
 @dataclass
 class CompiledResult:
-    """A compiled circuit plus everything needed to check and score it."""
+    """A compiled circuit plus everything needed to check and score it.
+
+    ``circuit`` is always the single compiled cost layer — the unit the
+    golden fixtures pin byte-for-byte.  When the pipeline assembles a
+    multi-layer schedule (``layers`` knob), the full p-layer artifact
+    lives in ``program`` and its plain-data summary in
+    ``extra["program"]``.
+    """
 
     circuit: Circuit
     initial_mapping: Mapping
     method: str
     wall_time_s: float = 0.0
     extra: dict = field(default_factory=dict)
+    program: Optional[Program] = None
 
     def depth(self) -> int:
         return self.circuit.depth()
@@ -72,8 +83,14 @@ class CompiledResult:
 
     def validate(self, coupling: CouplingGraph,
                  problem: ProblemGraph) -> ValidationReport:
-        return validate_compiled(self.circuit, coupling.edges,
-                                 self.initial_mapping, problem.edges)
+        """Semantic validation of the cost layer — and, when a
+        multi-layer program is attached, of its per-layer mapping
+        provenance and the even-p cancellation invariant."""
+        report = validate_compiled(self.circuit, coupling.edges,
+                                   self.initial_mapping, problem.edges)
+        if self.program is not None and self.program.p > 1:
+            validate_program(self.program)
+        return report
 
     def summary(self) -> str:
         return (f"{self.method}: depth={self.depth()} "

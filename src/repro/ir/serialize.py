@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Dict
 from .circuit import Circuit
 from .gates import OP_KINDS, Op
 from .mapping import Mapping
+from .program import Program, ProgramLayer
 
 if TYPE_CHECKING:  # heavier layers; imported lazily at runtime
     from ..compiler.result import CompiledResult
@@ -78,6 +79,65 @@ def mapping_from_dict(data: Dict) -> Mapping:
     return Mapping(data["log_to_phys"], data["n_physical"])
 
 
+def program_to_dict(program: Program) -> Dict:
+    """Serialise a layered program (see :mod:`repro.ir.program`)."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": program.name,
+        "n_qubits": program.n_qubits,
+        "initial_mapping": mapping_to_dict(program.initial_mapping),
+        "layers": [
+            {
+                "role": layer.role,
+                **({"param": layer.param}
+                   if layer.param is not None else {}),
+                "input_log_to_phys": list(layer.input_log_to_phys),
+                "output_log_to_phys": list(layer.output_log_to_phys),
+                "circuit": circuit_to_dict(layer.circuit),
+            }
+            for layer in program.layers
+        ],
+    }
+
+
+def program_from_dict(data: Dict, check: bool = True) -> Program:
+    """Inverse of :func:`program_to_dict`.
+
+    ``check=False`` loads layer circuits through the tolerant
+    deserializer and skips the constructor's mapping-continuity
+    validation (the lint path for possibly-corrupt documents, which
+    RL030/RL031 then diagnose instead of a load failure).
+    """
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported program format {data.get('version')}")
+    layers = [
+        ProgramLayer(
+            role=entry["role"],
+            circuit=circuit_from_dict(entry["circuit"], check=check),
+            param=entry.get("param"),
+            input_log_to_phys=tuple(entry["input_log_to_phys"]),
+            output_log_to_phys=tuple(entry["output_log_to_phys"]),
+        )
+        for entry in data["layers"]
+    ]
+    build = Program if check else Program.from_layers_unchecked
+    return build(data["n_qubits"], layers,
+                 mapping_from_dict(data["initial_mapping"]),
+                 name=data.get("name", ""))
+
+
+def save_program(program: Program, path: str) -> None:
+    """Write a layered program to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(program_to_dict(program), handle)
+
+
+def load_program(path: str) -> Program:
+    """Read a layered program from a JSON file."""
+    with open(path) as handle:
+        return program_from_dict(json.load(handle))
+
+
 def compiled_result_to_dict(result: "CompiledResult") -> Dict:
     """Serialise a :class:`repro.compiler.CompiledResult`.
 
@@ -87,7 +147,7 @@ def compiled_result_to_dict(result: "CompiledResult") -> Dict:
     list, and ``repro lint`` cross-checks it against recomputation
     (rule RL021).
     """
-    return {
+    document = {
         "version": FORMAT_VERSION,
         "method": result.method,
         "wall_time_s": result.wall_time_s,
@@ -102,6 +162,9 @@ def compiled_result_to_dict(result: "CompiledResult") -> Dict:
         "extra": {k: v for k, v in result.extra.items()
                   if isinstance(v, (str, int, float, bool))},
     }
+    if result.program is not None:
+        document["program"] = program_to_dict(result.program)
+    return document
 
 
 def compiled_result_from_dict(data: Dict) -> "CompiledResult":
@@ -116,6 +179,8 @@ def compiled_result_from_dict(data: Dict) -> "CompiledResult":
         method=data["method"],
         wall_time_s=data.get("wall_time_s", 0.0),
     )
+    if data.get("program") is not None:
+        result.program = program_from_dict(data["program"])
     result.extra.update(data.get("extra", {}))
     return result
 
@@ -133,13 +198,18 @@ def load_result(path: str) -> "CompiledResult":
 
 
 def problem_to_dict(problem: "ProblemGraph") -> Dict:
-    """Serialise a problem graph."""
-    return {
+    """Serialise a problem graph (edge weights included when present)."""
+    document = {
         "version": FORMAT_VERSION,
         "name": problem.name,
         "n_vertices": problem.n_vertices,
         "edges": sorted(list(e) for e in problem.edges),
     }
+    if problem.is_weighted:
+        document["weights"] = [
+            [u, v, problem.weight(u, v)]
+            for u, v in sorted(problem.edges)]
+    return document
 
 
 def problem_from_dict(data: Dict) -> "ProblemGraph":
@@ -148,6 +218,10 @@ def problem_from_dict(data: Dict) -> "ProblemGraph":
 
     if data.get("version") != FORMAT_VERSION:
         raise ValueError(f"unsupported problem format {data.get('version')}")
+    weights = None
+    if data.get("weights") is not None:
+        weights = {(u, v): w for u, v, w in data["weights"]}
     return ProblemGraph(data["n_vertices"],
                         [tuple(e) for e in data["edges"]],
-                        name=data.get("name", ""))
+                        name=data.get("name", ""),
+                        weights=weights)

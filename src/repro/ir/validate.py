@@ -22,6 +22,7 @@ from ..exceptions import ValidationError
 from .circuit import Circuit
 from .gates import CPHASE, SWAP, canonical_edge, canonical_edges
 from .mapping import Mapping
+from .program import Program, layer_permutation
 
 
 @dataclass
@@ -121,3 +122,41 @@ def validate_compiled(
 
     report.final_mapping = mapping
     return report
+
+
+def validate_program(program: Program) -> dict:
+    """Per-layer mapping provenance plus the cancellation invariant.
+
+    Each layer's recorded output mapping is re-derived from its circuit's
+    SWAPs (a wrong record means the assembler and the circuit disagree),
+    and after an even number of cost layers the reversed-layer
+    optimization must have cancelled the net permutation exactly.
+    Returns the plain-data record that lands in
+    ``extra["validate"]["program"]``.
+    """
+    layer_records = []
+    for index, layer in enumerate(program.layers):
+        scanned = layer_permutation(
+            layer.circuit, layer.input_mapping(program.n_qubits))
+        if tuple(scanned.log_to_phys) != layer.output_log_to_phys:
+            raise ValidationError(
+                f"program layer {index} ({layer.role}) records output "
+                f"mapping {list(layer.output_log_to_phys)} but its "
+                f"SWAPs produce {list(scanned.log_to_phys)}")
+        layer_records.append({
+            "role": layer.role,
+            "final_log_to_phys": list(layer.output_log_to_phys),
+        })
+    if program.p % 2 == 0 and not program.net_permutation_is_identity:
+        raise ValidationError(
+            f"program has an even number of cost layers ({program.p}) "
+            f"but the net permutation is not the identity: "
+            f"{list(program.final_log_to_phys)} != "
+            f"{list(program.initial_mapping.log_to_phys)} — the "
+            f"reversed-layer cancellation was not applied correctly")
+    return {
+        "p": program.p,
+        "layers": layer_records,
+        "final_log_to_phys": list(program.final_log_to_phys),
+        "net_permutation_identity": program.net_permutation_is_identity,
+    }

@@ -29,11 +29,13 @@ from .diagnostics import (ERROR, INFO, SEVERITIES, WARNING, Diagnostic,
                           LintReport)
 from .engine import LintContext, OpView, build_context, lint_circuit, \
     lint_result
+from .program import lint_program
 from .reporters import JSON_SCHEMA_VERSION, render_json, render_text
 from .rules import (LintRule, all_rules, get_rule, register_rule,
                     resolve_rules, rule, rule_table)
 
 __all__ = [
+    "lint_program",
     "Diagnostic",
     "LintReport",
     "LintRule",

@@ -44,6 +44,9 @@ class Diagnostic:
     qubits: Tuple[int, ...] = ()
     logical: Optional[Tuple[int, int]] = None
     hint: Optional[str] = None
+    #: Program layer index when linting a layered program; ``None`` for
+    #: plain single-circuit lint runs.
+    layer: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON form (the batch/CLI reporter payload)."""
@@ -58,11 +61,14 @@ class Diagnostic:
             "logical": list(self.logical) if self.logical is not None
             else None,
             "hint": self.hint,
+            "layer": self.layer,
         }
 
     def location(self) -> str:
-        """Compact ``op#i cycle c`` prefix for text rendering."""
+        """Compact ``layer k op#i cycle c`` prefix for text rendering."""
         parts: List[str] = []
+        if self.layer is not None:
+            parts.append(f"layer {self.layer}")
         if self.op_index is not None:
             parts.append(f"op#{self.op_index}")
         if self.cycle is not None:
@@ -71,10 +77,13 @@ class Diagnostic:
             parts.append(f"qubits {tuple(self.qubits)}")
         return " ".join(parts) if parts else "circuit"
 
-    def sort_key(self) -> Tuple[int, int, str]:
-        """Op order first (circuit-level findings last), then severity."""
+    def sort_key(self) -> Tuple[int, int, int, str]:
+        """Layer, then op order (circuit-level findings last), then
+        severity."""
+        layer = self.layer if self.layer is not None else -1
         index = self.op_index if self.op_index is not None else 1 << 30
-        return (index, _SEVERITY_RANK.get(self.severity, len(SEVERITIES)),
+        return (layer, index,
+                _SEVERITY_RANK.get(self.severity, len(SEVERITIES)),
                 self.code)
 
 

@@ -23,6 +23,7 @@ from typing import (Dict, FrozenSet, Iterable, List, Mapping as TypingMapping,
 from ..ir.circuit import Circuit
 from ..ir.gates import CPHASE, SWAP, Op, canonical_edge, canonical_edges
 from ..ir.mapping import Mapping
+from ..ir.program import Program
 from .diagnostics import Diagnostic, LintReport
 
 Edge = Tuple[int, int]
@@ -73,6 +74,12 @@ class LintContext:
     n_cycles: int = 0
     #: Number of distinct in-range qubits busy in each cycle.
     cycle_active: List[int] = field(default_factory=list)
+    #: Set by :func:`repro.lint.program.lint_program`: the layered
+    #: program being linted and the index of the layer this context
+    #: covers.  Plain single-circuit runs leave both ``None``, which is
+    #: what keeps the RL03x program rules silent for them.
+    program: Optional[Program] = None
+    layer_index: Optional[int] = None
 
     @property
     def has_malformed(self) -> bool:
@@ -192,8 +199,22 @@ def lint_result(result: object, coupling: object, problem: object,
 
     Accepts the same keyword arguments as :func:`lint_circuit`; the
     circuit and initial mapping come from ``result``, the hardware and
-    problem edges from ``coupling``/``problem``.
+    problem edges from ``coupling``/``problem``.  Results carrying a
+    multi-layer program (``layers > 1``) are linted per layer through
+    :func:`repro.lint.program.lint_program`; single-layer results keep
+    the historic flat-circuit lint byte for byte.
     """
+    program = getattr(result, "program", None)
+    if program is not None and program.p > 1:
+        from .program import lint_program
+
+        kwargs.pop("require_all_edges", None)
+        kwargs.pop("expected", None)
+        return lint_program(
+            program,
+            coupling.edges,        # type: ignore[attr-defined]
+            problem.edges,         # type: ignore[attr-defined]
+            **kwargs)              # type: ignore[arg-type]
     return lint_circuit(
         result.circuit,            # type: ignore[attr-defined]
         coupling.edges,            # type: ignore[attr-defined]

@@ -16,6 +16,7 @@ passes own the algorithms.
 See ``docs/compiler.md`` for the pass table and an extension example.
 """
 
+from .assembly import AssemblyPass, assemble_program
 from .base import Pass, PassObserver, Pipeline
 from .baseline import BaselinePass
 from .context import CompilationContext
@@ -40,6 +41,8 @@ __all__ = [
     "PredictionPass",
     "CandidatePass",
     "SelectionPass",
+    "AssemblyPass",
+    "assemble_program",
     "ValidatePass",
     "LintPass",
     "BaselinePass",

@@ -26,6 +26,7 @@ from ..compiler.result import CompiledResult
 from ..compiler.selector import Candidate
 from ..ir.circuit import Circuit
 from ..ir.mapping import Mapping
+from ..ir.program import Program
 from ..problems.graphs import ProblemGraph
 
 
@@ -71,6 +72,9 @@ class CompilationContext:
     #: returned (with pipeline telemetry merged in) instead of building a
     #: fresh one from ``circuit``/``mapping``.
     baseline_result: Optional[CompiledResult] = None
+    #: The assembled p-layer program (``AssemblyPass``); attached to the
+    #: final :class:`CompiledResult` by :meth:`to_result`.
+    program: Optional[Program] = None
 
     def knob(self, name: str, default: Any = None) -> Any:
         """A tuning knob with a default (passes never KeyError on knobs)."""
@@ -90,9 +94,10 @@ class CompilationContext:
         if self.baseline_result is not None:
             result = self.baseline_result
             result.extra.update(self.extras)
+            result.program = self.program
             return result
         self.require("circuit", "mapping")
         result = CompiledResult(self.circuit, self.mapping, self.method,
-                                wall_time_s)
+                                wall_time_s, program=self.program)
         result.extra.update(self.extras)
         return result

@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 
 from .._telemetry import count_event
 from ..exceptions import LintError
-from ..lint import lint_circuit, render_json
+from ..lint import lint_circuit, lint_program, render_json
 from .base import Pass
 from .context import CompilationContext
 
@@ -63,10 +63,18 @@ class LintPass(Pass):
         allow_repeats = (self.allow_repeats
                          if self.allow_repeats is not None
                          else bool(context.knob("allow_repeats", False)))
-        report = lint_circuit(
-            context.circuit, context.coupling.edges, context.mapping,
-            context.problem.edges, allow_repeats=allow_repeats,
-            select=self.select, ignore=self.ignore)
+        if context.program is not None and context.program.p > 1:
+            # Multi-layer schedules lint per layer (the flat circuit
+            # would trip RL012 on every repeated cost layer).
+            report = lint_program(
+                context.program, context.coupling.edges,
+                context.problem.edges, allow_repeats=allow_repeats,
+                select=self.select, ignore=self.ignore)
+        else:
+            report = lint_circuit(
+                context.circuit, context.coupling.edges, context.mapping,
+                context.problem.edges, allow_repeats=allow_repeats,
+                select=self.select, ignore=self.ignore)
         context.extras["lint"] = render_json(
             report, max_diagnostics=MAX_EMBEDDED_DIAGNOSTICS)
         counts = report.counts()

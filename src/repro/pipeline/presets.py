@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
+from .assembly import AssemblyPass
 from .base import Pass, PassObserver, Pipeline
 from .context import CompilationContext
 from .greedy import GreedyPass
@@ -41,16 +42,23 @@ PAPER_KNOBS: Dict[str, object] = {
     "greedy_cycle_cap": None,
     "unify_swaps": True,
     "allow_repeats": False,
+    "layers": 1,
+    "mixer": "rx",
+    "gammas": None,
+    "betas": None,
 }
 
-#: Pass factories per method, in execution order.
+#: Pass factories per method, in execution order.  Every preset ends
+#: with ``AssemblyPass``, which turns the compiled cost layer into the
+#: p-layer :class:`~repro.ir.program.Program` (``layers=1`` reuses the
+#: compiled circuit object, so single-layer output is untouched).
 PRESETS: Dict[str, Tuple[Callable[[], Pass], ...]] = {
     "hybrid": (PlacementPass, PatternPass, PredictionPass,
                lambda: GreedyPass(record_snapshots=True),
-               CandidatePass, SelectionPass),
-    "greedy": (PlacementPass, GreedyPass),
+               CandidatePass, SelectionPass, AssemblyPass),
+    "greedy": (PlacementPass, GreedyPass, AssemblyPass),
     "ata": (PlacementPass, PatternPass,
-            lambda: PredictionPass(as_result=True)),
+            lambda: PredictionPass(as_result=True), AssemblyPass),
 }
 
 

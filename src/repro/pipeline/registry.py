@@ -111,6 +111,22 @@ def _paper_runner(method: str) -> MethodRunner:
     return run
 
 
+def _pop_assembly(options: Dict) -> "object":
+    """Split the program-assembly knobs out of a baseline's options.
+
+    Baseline pipelines forward ``knobs`` verbatim to the wrapped
+    compiler function, so the assembly knobs must ride on the pass
+    itself rather than stay in the dict.
+    """
+    from .assembly import AssemblyPass
+
+    return AssemblyPass(
+        layers=options.pop("layers", None),
+        mixer=options.pop("mixer", None),
+        gammas=options.pop("gammas", None),
+        betas=options.pop("betas", None))
+
+
 def _baseline_runner(name: str, loader: Callable[[], Callable],
                      forward_gamma: bool = True) -> MethodRunner:
     def run(coupling, problem, noise, gamma, on_pass_end, options):
@@ -118,11 +134,14 @@ def _baseline_runner(name: str, loader: Callable[[], Callable],
         from .baseline import BaselinePass
         from .context import CompilationContext
 
+        options = dict(options)
+        assembly = _pop_assembly(options)
         context = CompilationContext(
             coupling=coupling, problem=problem, method=name, noise=noise,
-            gamma=gamma, knobs=dict(options))
+            gamma=gamma, knobs=options)
         pipeline = Pipeline(
-            [BaselinePass(name, loader(), forward_gamma=forward_gamma)],
+            [BaselinePass(name, loader(), forward_gamma=forward_gamma),
+             assembly],
             name=name, on_pass_end=on_pass_end)
         return pipeline.compile(context)
     return run
@@ -134,10 +153,12 @@ def _solver_runner() -> MethodRunner:
         from .context import CompilationContext
         from .solver import SolverPass
 
+        options = dict(options)
+        assembly = _pop_assembly(options)
         context = CompilationContext(
             coupling=coupling, problem=problem, method="optimal",
-            noise=noise, gamma=gamma, knobs=dict(options))
-        pipeline = Pipeline([SolverPass()], name="optimal",
+            noise=noise, gamma=gamma, knobs=options)
+        pipeline = Pipeline([SolverPass(), assembly], name="optimal",
                             on_pass_end=on_pass_end)
         return pipeline.compile(context)
     return run

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..ir.validate import validate_compiled
+from ..ir.validate import validate_compiled, validate_program
 from .base import Pass
 from .context import CompilationContext
 
@@ -54,4 +54,7 @@ class ValidatePass(Pass):
             "final_log_to_phys": list(report.final_mapping.log_to_phys)
             if report.final_mapping is not None else None,
         }
+        if context.program is not None:
+            context.extras["validate"]["program"] = \
+                validate_program(context.program)
         return True

@@ -1,7 +1,8 @@
 """Problem graphs and applications (QAOA, 2-local Hamiltonian simulation)."""
 
 from .graphs import (ProblemGraph, biclique, clique, random_problem_graph,
-                     regular_for_density, regular_problem_graph)
+                     regular_for_density, regular_problem_graph,
+                     weighted_random_problem_graph)
 from .hamiltonian import (hamiltonian_benchmarks, nnn_heisenberg_3d,
                           nnn_ising_1d, nnn_xy_2d)
 from .qaoa import QaoaProblem, maxcut_expectation_energy
@@ -14,6 +15,7 @@ __all__ = [
     "random_problem_graph",
     "regular_problem_graph",
     "regular_for_density",
+    "weighted_random_problem_graph",
     "QaoaProblem",
     "maxcut_expectation_energy",
     "nnn_ising_1d",

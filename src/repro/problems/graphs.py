@@ -8,17 +8,25 @@ target degree.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
-from ..ir.gates import canonical_edges
+from ..ir.gates import canonical_edge, canonical_edges
 
 
 class ProblemGraph:
-    """Immutable undirected problem graph over ``n_vertices`` logical qubits."""
+    """Immutable undirected problem graph over ``n_vertices`` logical qubits.
+
+    ``weights`` (optional) attaches a real weight to each edge — weighted
+    MaxCut, where the weight scales both the CPHASE angle and the edge's
+    contribution to the cut value.  ``weights=None`` is the unweighted
+    problem and every weight reads as 1.0; nothing downstream changes.
+    """
 
     def __init__(self, n_vertices: int,
                  edges: Iterable[Tuple[int, int]],
-                 name: str = "") -> None:
+                 name: str = "",
+                 weights: Optional[Mapping[Tuple[int, int], float]] = None,
+                 ) -> None:
         if n_vertices <= 0:
             raise ValueError("problem graph needs at least one vertex")
         self.n_vertices = n_vertices
@@ -26,7 +34,33 @@ class ProblemGraph:
         for u, v in self.edges:
             if u == v or not (0 <= u < n_vertices and 0 <= v < n_vertices):
                 raise ValueError(f"invalid edge ({u}, {v})")
+        self.weights: Optional[Dict[Tuple[int, int], float]] = None
+        if weights is not None:
+            canon = {canonical_edge(*edge): float(w)
+                     for edge, w in weights.items()}
+            missing = self.edges - canon.keys()
+            if missing:
+                raise ValueError(
+                    f"weights missing for edges {sorted(missing)}")
+            stray = canon.keys() - self.edges
+            if stray:
+                raise ValueError(
+                    f"weights given for non-edges {sorted(stray)}")
+            self.weights = canon
         self.name = name or f"graph-{n_vertices}-{len(self.edges)}"
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    def weight(self, u: int, v: int) -> float:
+        """The edge's weight (1.0 for every edge of an unweighted graph)."""
+        edge = canonical_edge(u, v)
+        if edge not in self.edges:
+            raise KeyError(f"({u}, {v}) is not an edge")
+        if self.weights is None:
+            return 1.0
+        return self.weights[edge]
 
     @property
     def n_edges(self) -> int:
@@ -77,8 +111,9 @@ class ProblemGraph:
         return [frozenset(g) for g in groups.values()]
 
     def __repr__(self) -> str:
+        tail = ", weighted" if self.is_weighted else ""
         return (f"ProblemGraph({self.name!r}, n={self.n_vertices}, "
-                f"edges={self.n_edges})")
+                f"edges={self.n_edges}{tail})")
 
 
 def clique(n_vertices: int) -> ProblemGraph:
@@ -120,6 +155,23 @@ def regular_problem_graph(n_vertices: int, degree: int,
     graph = nx.random_regular_graph(degree, n_vertices, seed=seed)
     return ProblemGraph(n_vertices, graph.edges(),
                         name=f"reg-{n_vertices}-d{degree}-s{seed}")
+
+
+def weighted_random_problem_graph(n_vertices: int, density: float,
+                                  seed: int = 0,
+                                  low: float = 0.2,
+                                  high: float = 1.0) -> ProblemGraph:
+    """Weighted MaxCut instance: the :func:`random_problem_graph` topology
+    with uniform ``[low, high)`` edge weights from the same seed."""
+    import random as _random
+
+    base = random_problem_graph(n_vertices, density, seed=seed)
+    rng = _random.Random(seed)
+    weights = {edge: low + (high - low) * rng.random()
+               for edge in sorted(base.edges)}
+    return ProblemGraph(n_vertices, base.edges,
+                        name=f"wrand-{n_vertices}-{density:g}-s{seed}",
+                        weights=weights)
 
 
 def regular_for_density(n_vertices: int, density: float,

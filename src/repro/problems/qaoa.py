@@ -38,7 +38,11 @@ class QaoaProblem:
 
     def logical_circuit(self, gammas: Sequence[float],
                         betas: Sequence[float]) -> Circuit:
-        """The uncompiled (all-to-all connectivity) QAOA circuit."""
+        """The uncompiled (all-to-all connectivity) QAOA circuit.
+
+        On a weighted graph each edge's CPHASE angle is ``gamma_k * w``,
+        so heavier edges rotate proportionally further (weighted MaxCut).
+        """
         if len(gammas) != len(betas):
             raise ValueError("gammas and betas must have equal length")
         circuit = Circuit(self.n_qubits)
@@ -46,38 +50,50 @@ class QaoaProblem:
             circuit.append(Op.h(q))
         for gamma, beta in zip(gammas, betas):
             for u, v in sorted(self.graph.edges):
-                circuit.append(Op.cphase(u, v, gamma, tag=(u, v)))
+                angle = gamma * self.graph.weight(u, v)
+                circuit.append(Op.cphase(u, v, angle, tag=(u, v)))
             for q in range(self.n_qubits):
                 circuit.append(Op.rx(q, 2.0 * beta))
         return circuit
 
     # -- cost function ---------------------------------------------------------
 
-    def cut_value(self, bits: Sequence[int]) -> int:
-        """Cut size of one assignment (bit per vertex)."""
-        return sum(1 for u, v in self.graph.edges if bits[u] != bits[v])
+    def cut_value(self, bits: Sequence[int]) -> float:
+        """(Weighted) cut size of one assignment (bit per vertex).
+
+        Returns an exact ``int``-valued float on unweighted graphs.
+        """
+        return sum(self.graph.weight(u, v)
+                   for u, v in self.graph.edges if bits[u] != bits[v])
 
     def cut_values_all(self) -> np.ndarray:
         """Cut value for every basis state (index bit order: qubit 0 is the
-        most significant bit, matching :mod:`repro.sim`)."""
+        most significant bit, matching :mod:`repro.sim`).  ``int64`` for
+        unweighted graphs, ``float64`` when edge weights are attached."""
         n = self.n_qubits
-        values = np.zeros(2 ** n, dtype=np.int64)
+        dtype = np.float64 if self.graph.is_weighted else np.int64
+        values = np.zeros(2 ** n, dtype=dtype)
+        indices = np.arange(2 ** n)
         for u, v in self.graph.edges:
             bit_u = 1 << (n - 1 - u)
             bit_v = 1 << (n - 1 - v)
-            indices = np.arange(2 ** n)
             differ = ((indices & bit_u) > 0) != ((indices & bit_v) > 0)
-            values += differ
+            if self.graph.is_weighted:
+                values += differ * self.graph.weight(u, v)
+            else:
+                values += differ
         return values
 
     def expected_cut(self, probabilities: np.ndarray) -> float:
         """Expected cut of a probability distribution over basis states."""
         return float(np.dot(probabilities, self.cut_values_all()))
 
-    def max_cut_brute_force(self) -> int:
+    def max_cut_brute_force(self) -> float:
         """Exact optimum for small graphs (exponential; n <= 24)."""
         if self.n_qubits > 24:
             raise ValueError("brute force limited to 24 qubits")
+        if self.graph.is_weighted:
+            return float(self.cut_values_all().max())
         return int(self.cut_values_all().max())
 
 

@@ -3,8 +3,8 @@
 from .noise import (depolarized_probabilities, empirical_distribution,
                     sample_counts, tvd)
 from .qaoa_runner import (QaoaRound, QaoaRunResult, QaoaRunner,
-                          logical_equivalent, qaoa_layer_circuit,
-                          qaoa_multilayer_circuit)
+                          logical_equivalent, program_logical_circuit,
+                          qaoa_layer_circuit, qaoa_multilayer_circuit)
 from .statevector import apply_op, probabilities, run_circuit, zero_state
 
 __all__ = [
@@ -19,6 +19,7 @@ __all__ = [
     "logical_equivalent",
     "qaoa_layer_circuit",
     "qaoa_multilayer_circuit",
+    "program_logical_circuit",
     "QaoaRunner",
     "QaoaRunResult",
     "QaoaRound",

@@ -23,6 +23,7 @@ from ..compiler.result import CompiledResult
 from ..ir.circuit import Circuit
 from ..ir.gates import CPHASE, SWAP, Op
 from ..ir.mapping import Mapping
+from ..ir.program import Program
 from ..problems.qaoa import QaoaProblem
 from .noise import depolarized_probabilities, sample_counts, tvd
 from .statevector import probabilities, run_circuit
@@ -72,6 +73,7 @@ def qaoa_multilayer_circuit(problem: QaoaProblem, cost_block: Circuit,
     if len(gammas) != len(betas):
         raise ValueError("gammas and betas must have equal length")
     n = problem.n_qubits
+    weighted = problem.graph.is_weighted
     circuit = Circuit(n)
     for q in range(n):
         circuit.append(Op.h(q))
@@ -79,9 +81,66 @@ def qaoa_multilayer_circuit(problem: QaoaProblem, cost_block: Circuit,
         for op in cost_block:
             if op.kind != CPHASE:
                 raise ValueError("cost block must contain only CPHASE ops")
-            circuit.append(Op.cphase(op.qubits[0], op.qubits[1], gamma))
+            u, v = op.qubits
+            angle = gamma * problem.graph.weight(u, v) if weighted else gamma
+            circuit.append(Op.cphase(u, v, angle))
         for q in range(n):
             circuit.append(Op.rx(q, 2.0 * beta))
+    return circuit
+
+
+def program_logical_circuit(problem: QaoaProblem, program: Program,
+                            gammas: Sequence[float],
+                            betas: Sequence[float]) -> Circuit:
+    """The logical circuit a compiled program implements, re-angled.
+
+    Each cost layer is walked under its own recorded input mapping, so
+    every CPHASE lands on the right *logical* edge regardless of the
+    permutation state — including reversed layers — with angle
+    ``gamma_k * w(edge)`` (weights are 1 on unweighted graphs).  Mixer
+    walls become logical RX walls at ``2 * beta_k``; programs assembled
+    without physical mixer layers (``mixer="none"``) still get a logical
+    mixer after each cost layer, matching the single-circuit runner
+    where mixers are never part of the compiled artifact.
+    """
+    if len(gammas) != program.p or len(betas) != program.p:
+        raise ValueError(
+            f"program has p={program.p} cost layers; expected that many "
+            f"gammas and betas")
+    n = problem.n_qubits
+    weighted = problem.graph.is_weighted
+    virtual_mixers = program.mixer == "none"
+    circuit = Circuit(n)
+    for q in range(n):
+        circuit.append(Op.h(q))
+    cost_seen = mixer_seen = 0
+    for layer in program.layers:
+        if layer.is_cost:
+            gamma = gammas[cost_seen]
+            cost_seen += 1
+            mapping = layer.input_mapping(program.n_qubits)
+            for op in layer.circuit:
+                if op.kind == CPHASE:
+                    lu = mapping.logical(op.qubits[0])
+                    lv = mapping.logical(op.qubits[1])
+                    if lu is None or lv is None:
+                        raise ValueError(
+                            f"{op!r} touches an unoccupied qubit")
+                    angle = (gamma * problem.graph.weight(lu, lv)
+                             if weighted else gamma)
+                    circuit.append(Op.cphase(lu, lv, angle))
+                elif op.kind == SWAP:
+                    mapping.swap_physical(*op.qubits)
+            if virtual_mixers:
+                beta = betas[mixer_seen]
+                mixer_seen += 1
+                for q in range(n):
+                    circuit.append(Op.rx(q, 2.0 * beta))
+        elif layer.role == "mixer":
+            beta = betas[mixer_seen]
+            mixer_seen += 1
+            for q in range(n):
+                circuit.append(Op.rx(q, 2.0 * beta))
     return circuit
 
 
@@ -117,7 +176,19 @@ class QaoaRunResult:
 
 
 class QaoaRunner:
-    """COBYLA-driven QAOA loop over a compiled circuit on a noisy device."""
+    """COBYLA-driven QAOA loop over a compiled circuit on a noisy device.
+
+    When the compiled result carries a multi-layer
+    :class:`~repro.ir.program.Program` (``layers > 1``) and ``p`` is left
+    at its default (or matches the program's depth), the runner executes
+    the *program*: the logical circuit is rebuilt per layer under each
+    layer's recorded mapping, ESP is charged for every physical layer —
+    mixer walls included — and readout homes come from the program's
+    final mapping (the initial placement again whenever the
+    reversed-layer cancellation closed the permutation).  Otherwise the
+    historic single-block behaviour is preserved exactly: the compiled
+    cost block repeats ``p`` times and ESP compounds as ``block_esp**p``.
+    """
 
     def __init__(
         self,
@@ -126,27 +197,47 @@ class QaoaRunner:
         noise: Optional[NoiseModel] = None,
         shots: int = 8000,
         seed: int = 0,
-        p: int = 1,
+        p: Optional[int] = None,
         include_readout: bool = False,
     ) -> None:
-        if p < 1:
+        if p is not None and p < 1:
             raise ValueError("QAOA depth p must be >= 1")
         self.problem = problem
         self.compiled = compiled
         self.shots = shots
-        self.p = p
         self.rng = np.random.default_rng(seed)
-        self.cost_block = logical_equivalent(
-            compiled.circuit, compiled.initial_mapping, problem.n_qubits)
-        block_esp = noise.esp(compiled.circuit) if noise is not None else 1.0
-        # The physical circuit repeats once per layer.
-        self.esp = block_esp ** p
+        program = getattr(compiled, "program", None)
+        self.program: Optional[Program] = None
+        if (program is not None and program.p > 1
+                and (p is None or p == program.p)):
+            self.program = program
+            self.p = program.p
+            self.cost_block = None
+            if noise is not None:
+                esp = 1.0
+                for layer in program.layers:
+                    esp *= noise.esp(layer.circuit)
+                self.esp = esp
+            else:
+                self.esp = 1.0
+        else:
+            self.p = 1 if p is None else p
+            self.cost_block = logical_equivalent(
+                compiled.circuit, compiled.initial_mapping,
+                problem.n_qubits)
+            block_esp = (noise.esp(compiled.circuit)
+                         if noise is not None else 1.0)
+            # The physical circuit repeats once per layer.
+            self.esp = block_esp ** self.p
         self._cut_values = problem.cut_values_all()
         # Per-logical-qubit readout flip rates at the measurement homes.
         self.readout_rates: dict = {}
         if include_readout and noise is not None:
-            final = final_mapping_of(compiled.circuit,
-                                     compiled.initial_mapping)
+            if self.program is not None:
+                final = self.program.final_mapping()
+            else:
+                final = final_mapping_of(compiled.circuit,
+                                         compiled.initial_mapping)
             self.readout_rates = {
                 q: noise.readout_error[final.physical(q)]
                 for q in range(problem.n_qubits)}
@@ -163,8 +254,12 @@ class QaoaRunner:
     def ideal_probabilities(self, gamma, beta) -> np.ndarray:
         """Noise-free measurement distribution at the given angles."""
         gammas, betas = self._angles(gamma, beta)
-        circuit = qaoa_multilayer_circuit(self.problem, self.cost_block,
-                                          gammas, betas)
+        if self.program is not None:
+            circuit = program_logical_circuit(self.problem, self.program,
+                                              gammas, betas)
+        else:
+            circuit = qaoa_multilayer_circuit(self.problem, self.cost_block,
+                                              gammas, betas)
         return probabilities(run_circuit(circuit))
 
     def noisy_probabilities(self, gamma, beta) -> np.ndarray:

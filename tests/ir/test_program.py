@@ -1,0 +1,198 @@
+"""Unit tests for the layered-program IR (repro.ir.program)."""
+
+import math
+
+import pytest
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Op
+from repro.ir.mapping import Mapping
+from repro.ir.program import (COST_ROLES, LAYER_ROLES, Program, ProgramLayer,
+                              ROLE_COST, ROLE_MIXER, ROLE_REVERSED_COST,
+                              layer_permutation, reversed_layer)
+from repro.ir.serialize import (program_from_dict, program_to_dict)
+
+N = 4
+
+
+def _cost_circuit():
+    """CPHASE(0,1), SWAP(1,2), CPHASE(0,1) on 4 physical qubits."""
+    return Circuit.from_ops_unchecked(N, [
+        Op.cphase(0, 1, 0.4),
+        Op.swap(1, 2),
+        Op.cphase(0, 1, 0.4),
+    ])
+
+
+def _mapping():
+    return Mapping(list(range(N)), N)
+
+
+def _layer(role, circuit, mapping, param=0.4):
+    out = layer_permutation(circuit, mapping)
+    return ProgramLayer(role=role, circuit=circuit, param=param,
+                        input_log_to_phys=tuple(mapping.log_to_phys),
+                        output_log_to_phys=tuple(out.log_to_phys))
+
+
+class TestProgramLayer:
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ValueError, match="unknown layer role"):
+            _layer("banana", _cost_circuit(), _mapping())
+
+    def test_mismatched_mapping_widths_rejected(self):
+        with pytest.raises(ValueError, match="different logical"):
+            ProgramLayer(role=ROLE_COST, circuit=_cost_circuit(), param=0.4,
+                         input_log_to_phys=(0, 1, 2, 3),
+                         output_log_to_phys=(0, 1, 2))
+
+    def test_is_cost(self):
+        circuit = _cost_circuit()
+        assert _layer(ROLE_COST, circuit, _mapping()).is_cost
+        assert _layer(ROLE_REVERSED_COST, circuit, _mapping()).is_cost
+        mixer = Circuit.from_ops_unchecked(N, [Op.rx(q, 0.6)
+                                               for q in range(N)])
+        assert not _layer(ROLE_MIXER, mixer, _mapping()).is_cost
+
+    def test_role_sets(self):
+        assert COST_ROLES < LAYER_ROLES
+        assert ROLE_MIXER in LAYER_ROLES - COST_ROLES
+
+
+class TestProgram:
+    def _program(self, n_layers=2):
+        circuit = _cost_circuit()
+        mapping = _mapping()
+        layers = []
+        current = mapping
+        for k in range(n_layers):
+            layer_circuit = circuit if k % 2 == 0 else reversed_layer(circuit)
+            role = ROLE_COST if k % 2 == 0 else ROLE_REVERSED_COST
+            layer = _layer(role, layer_circuit, current)
+            layers.append(layer)
+            current = Mapping(list(layer.output_log_to_phys), N)
+        return Program(N, layers, mapping, name="test")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError, match="at least one layer"):
+            Program(N, [], _mapping())
+
+    def test_mapping_discontinuity_rejected(self):
+        circuit = _cost_circuit()
+        first = _layer(ROLE_COST, circuit, _mapping())
+        # Second layer claims to start from the *initial* layout instead
+        # of the first layer's output layout.
+        second = _layer(ROLE_REVERSED_COST, reversed_layer(circuit),
+                        _mapping())
+        with pytest.raises(ValueError, match="disagrees"):
+            Program(N, [first, second], _mapping())
+
+    def test_width_mismatch_rejected(self):
+        narrow = Circuit.from_ops_unchecked(2, [Op.cphase(0, 1, 0.4)])
+        layer = ProgramLayer(role=ROLE_COST, circuit=narrow, param=0.4,
+                             input_log_to_phys=(0, 1),
+                             output_log_to_phys=(0, 1))
+        with pytest.raises(ValueError, match="wide"):
+            Program(N, [layer], _mapping())
+
+    def test_p_counts_cost_roles_only(self):
+        program = self._program(n_layers=2)
+        assert program.p == 2
+        assert len(program.cost_layers()) == 2
+        assert program.mixer_layers() == []
+        assert program.mixer == "none"
+
+    def test_cancellation_after_even_layers(self):
+        program = self._program(n_layers=2)
+        assert program.net_permutation_is_identity
+        assert program.final_log_to_phys == \
+            tuple(program.initial_mapping.log_to_phys)
+
+    def test_odd_layers_leave_the_permutation(self):
+        program = self._program(n_layers=1)
+        assert not program.net_permutation_is_identity
+        assert program.final_mapping().log_to_phys == [0, 2, 1, 3]
+
+    def test_flatten_concatenates_in_layer_order(self):
+        program = self._program(n_layers=2)
+        flat = program.flatten()
+        expected = (list(_cost_circuit().ops)
+                    + list(reversed_layer(_cost_circuit()).ops))
+        assert list(flat.ops) == expected
+        assert program.n_ops() == len(flat)
+        assert program.swap_count() == flat.swap_count == 2
+
+    def test_gammas_betas(self):
+        program = self._program(n_layers=2)
+        assert program.gammas() == [0.4, 0.4]
+        assert program.betas() == []
+
+    def test_telemetry_shape(self):
+        telemetry = self._program(n_layers=2).telemetry()
+        assert telemetry == {
+            "layers": 2,
+            "p": 2,
+            "mixer": "none",
+            "roles": [ROLE_COST, ROLE_REVERSED_COST],
+            "ops": 6,
+            "swaps": 2,
+            "net_permutation_identity": True,
+        }
+
+    def test_len_and_iter(self):
+        program = self._program(n_layers=2)
+        assert len(program) == 2
+        assert [layer.role for layer in program] == \
+            [ROLE_COST, ROLE_REVERSED_COST]
+
+    def test_serialize_round_trip(self):
+        program = self._program(n_layers=2)
+        document = program_to_dict(program)
+        restored = program_from_dict(document)
+        assert program_to_dict(restored) == document
+        assert restored.p == program.p
+        assert restored.final_log_to_phys == program.final_log_to_phys
+        assert [layer.role for layer in restored] == \
+            [layer.role for layer in program]
+
+    def test_tampered_document_needs_the_unchecked_loader(self):
+        # A broken provenance chain loads only through check=False —
+        # the lint path, where RL030 diagnoses it instead.
+        document = program_to_dict(self._program(n_layers=2))
+        document["layers"][1]["input_log_to_phys"] = [1, 0, 2, 3]
+        with pytest.raises(ValueError, match="disagrees"):
+            program_from_dict(document)
+        tolerant = program_from_dict(document, check=False)
+        assert tolerant.layers[1].input_log_to_phys == (1, 0, 2, 3)
+        assert program_to_dict(tolerant) == document
+
+
+class TestHelpers:
+    def test_layer_permutation_tracks_swaps(self):
+        mapping = layer_permutation(_cost_circuit(), _mapping())
+        assert mapping.log_to_phys == [0, 2, 1, 3]
+
+    def test_layer_permutation_does_not_mutate_input(self):
+        mapping = _mapping()
+        layer_permutation(_cost_circuit(), mapping)
+        assert mapping.log_to_phys == [0, 1, 2, 3]
+
+    def test_reversed_layer_inverts_the_permutation(self):
+        circuit = Circuit.from_ops_unchecked(N, [
+            Op.swap(0, 1), Op.cphase(1, 2, 0.4), Op.swap(2, 3),
+        ])
+        forward = layer_permutation(circuit, _mapping())
+        back = layer_permutation(reversed_layer(circuit),
+                                 Mapping(list(forward.log_to_phys), N))
+        assert back.log_to_phys == [0, 1, 2, 3]
+
+    def test_reversed_layer_preserves_gate_multiset(self):
+        circuit = _cost_circuit()
+        rev = reversed_layer(circuit)
+        assert sorted(map(repr, circuit.ops)) == sorted(map(repr, rev.ops))
+        assert list(rev.ops) == list(circuit.ops)[::-1]
+
+    def test_reversed_layer_angles_survive(self):
+        rev = reversed_layer(_cost_circuit())
+        angles = [op.param for op in rev.ops if op.param is not None]
+        assert all(math.isclose(a, 0.4) for a in angles)

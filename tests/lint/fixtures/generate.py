@@ -18,8 +18,9 @@ import pathlib
 from repro.ir.circuit import Circuit
 from repro.ir.gates import Op
 from repro.ir.mapping import Mapping
+from repro.ir.program import Program, ProgramLayer
 from repro.ir.serialize import (FORMAT_VERSION, circuit_to_dict,
-                                mapping_to_dict)
+                                mapping_to_dict, program_to_dict)
 
 HERE = pathlib.Path(__file__).parent
 
@@ -127,6 +128,46 @@ def main():
     # qubits busy -> mean idle 15/16 > 85% over >= 8 cycles.
     write("rl022", unchecked_circuit_doc(16, [Op.h(0)] * 10),
           problem_doc(16, []))
+
+    # -- RL03x: layered-program documents (lint_program path) -------------
+    # One forward cost layer of the triangle problem on a 3-qubit line:
+    # every problem edge exactly once, and the SWAPs leave the 3-cycle
+    # layout (2, 0, 1).
+    cost_ops = [Op.cphase(0, 1, 0.7), Op.swap(0, 1), Op.cphase(1, 2, 0.7),
+                Op.swap(1, 2), Op.cphase(0, 1, 0.7)]
+    triangle = problem_doc(3, [(0, 1), (0, 2), (1, 2)])
+
+    def cost_layer(input_l2p, output_l2p):
+        return ProgramLayer(role="cost", circuit=Circuit(3, list(cost_ops)),
+                            param=0.7, input_log_to_phys=input_l2p,
+                            output_log_to_phys=output_l2p)
+
+    # RL030: the mixer wall's recorded input mapping is the initial
+    # layout instead of the cost layer's output — a broken provenance
+    # chain only the unchecked loader accepts.
+    mixer = ProgramLayer(role="mixer",
+                         circuit=Circuit(3, [Op.rx(q, 0.6)
+                                             for q in range(3)]),
+                         param=0.3, input_log_to_phys=(0, 1, 2),
+                         output_log_to_phys=(0, 1, 2))
+    broken = Program.from_layers_unchecked(
+        3, [cost_layer((0, 1, 2), (2, 0, 1)), mixer], Mapping.trivial(3))
+    write("rl030", program_to_dict(broken), triangle)
+
+    # RL031: the recorded output mapping claims the layer is
+    # permutation-free, but its SWAPs produce (2, 0, 1).
+    drifted = Program(3, [cost_layer((0, 1, 2), (0, 1, 2))],
+                      Mapping.trivial(3))
+    write("rl031", program_to_dict(drifted), triangle)
+
+    # RL032: two *forward* cost layers — provenance all correct (any
+    # relabeling of the triangle is still the triangle, so both layers
+    # are clean), but the even-depth net permutation (1, 2, 0) never
+    # cancelled.
+    uncancelled = Program(3, [cost_layer((0, 1, 2), (2, 0, 1)),
+                              cost_layer((2, 0, 1), (1, 2, 0))],
+                          Mapping.trivial(3))
+    write("rl032", program_to_dict(uncancelled), triangle)
 
 
 if __name__ == "__main__":

@@ -50,6 +50,21 @@ def test_method_lints_with_zero_errors(arch, method):
         f"{method} on {arch}: {[d.message for d in report.errors]}")
 
 
+@pytest.mark.parametrize("arch", ARCHES)
+@pytest.mark.parametrize("method", HEURISTIC_METHODS)
+def test_method_p2_program_lints_with_zero_errors(arch, method):
+    """The assembled p=2 program lints clean per layer (ISSUE 7)."""
+    coupling = architecture_for(arch, N_LOGICAL)
+    problem = random_problem_graph(N_LOGICAL, 0.35, seed=SEED)
+    result = get_method(method).compile(coupling, problem, layers=2)
+    assert result.program is not None and result.program.p == 2
+    assert result.program.net_permutation_is_identity
+    report = lint_result(result, coupling, problem)
+    assert report.ok, (
+        f"{method} on {arch}: "
+        f"{[(d.layer, d.message) for d in report.errors]}")
+
+
 def test_optimal_method_lints_with_zero_errors():
     coupling = architecture_for("line", 4)
     problem = clique(4)

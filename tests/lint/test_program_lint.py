@@ -1,0 +1,119 @@
+"""RL03x program rules and the per-layer lint dispatch."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.arch import architecture_for
+from repro.compiler import compile_qaoa
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Op
+from repro.ir.mapping import Mapping
+from repro.ir.program import (Program, ProgramLayer, ROLE_COST,
+                              layer_permutation)
+from repro.lint import lint_result
+from repro.lint.program import lint_program
+from repro.problems import ProblemGraph, random_problem_graph
+
+
+def _compiled(layers=2, mixer="rx"):
+    coupling = architecture_for("grid", 9)
+    problem = random_problem_graph(9, 0.35, seed=2)
+    result = compile_qaoa(coupling, problem, method="hybrid", gamma=0.4,
+                          layers=layers, mixer=mixer)
+    return result, coupling, problem
+
+
+class TestCleanPrograms:
+    @pytest.mark.parametrize("mixer", ["rx", "none"])
+    def test_p2_program_lints_clean(self, mixer):
+        result, coupling, problem = _compiled(layers=2, mixer=mixer)
+        report = lint_result(result, coupling, problem)
+        assert report.ok, [(d.layer, d.message) for d in report.errors]
+
+    def test_diagnostics_carry_layer_index(self):
+        result, coupling, problem = _compiled(layers=3)
+        report = lint_result(result, coupling, problem)
+        # Any RL02x quality warnings must be attributed to a layer.
+        for diagnostic in report.diagnostics:
+            assert diagnostic.layer is not None
+            assert f"layer {diagnostic.layer}" in diagnostic.location()
+
+    def test_p1_result_keeps_flat_lint(self):
+        result, coupling, problem = _compiled(layers=1)
+        report = lint_result(result, coupling, problem)
+        assert report.ok
+        assert all(d.layer is None for d in report.diagnostics)
+
+
+class TestTamperedPrograms:
+    def test_rl030_fires_on_mapping_discontinuity(self):
+        result, coupling, problem = _compiled(layers=2, mixer="none")
+        program = result.program
+        bad = list(program.layers[1].input_log_to_phys)
+        bad[0], bad[1] = bad[1], bad[0]
+        program.layers[1] = replace(program.layers[1],
+                                    input_log_to_phys=tuple(bad))
+        report = lint_program(program, coupling.edges, problem.edges,
+                              select=["RL030"])
+        assert [d.code for d in report.errors] == ["RL030"]
+        assert report.errors[0].layer == 1
+
+    def test_rl031_fires_on_recorded_output_drift(self):
+        result, coupling, problem = _compiled(layers=1, mixer="none")
+        program = result.program
+        bad = list(program.layers[0].output_log_to_phys)
+        bad[0], bad[1] = bad[1], bad[0]
+        program.layers[0] = replace(program.layers[0],
+                                    output_log_to_phys=tuple(bad))
+        report = lint_program(program, coupling.edges, problem.edges,
+                              select=["RL031"])
+        assert [d.code for d in report.errors] == ["RL031"]
+        assert report.errors[0].layer == 0
+
+    def test_rl032_fires_on_uncancelled_even_program(self):
+        # Two *forward* copies of a layer whose permutation is a 3-cycle:
+        # provenance is recorded faithfully, but the net permutation does
+        # not cancel — exactly the waste RL032 warns about.
+        n = 3
+        circuit = Circuit.from_ops_unchecked(n, [
+            Op.cphase(0, 1, 0.4), Op.swap(0, 1),
+            Op.cphase(1, 2, 0.4), Op.swap(1, 2),
+        ])
+        mapping = Mapping([0, 1, 2], n)
+        layers = []
+        current = mapping
+        for _ in range(2):
+            out = layer_permutation(circuit, current)
+            layers.append(ProgramLayer(
+                role=ROLE_COST, circuit=circuit, param=None,
+                input_log_to_phys=tuple(current.log_to_phys),
+                output_log_to_phys=tuple(out.log_to_phys)))
+            current = out
+        program = Program(n, layers, mapping)
+        assert program.p == 2 and not program.net_permutation_is_identity
+        problem = ProblemGraph(3, [(0, 1), (1, 2)])
+        coupling_edges = [(0, 1), (1, 2)]
+        report = lint_program(program, coupling_edges, problem.edges,
+                              select=["RL032"])
+        assert [d.code for d in report.warnings] == ["RL032"]
+        assert report.warnings[0].layer == len(program.layers) - 1
+
+    def test_rl032_silent_on_cancelled_program(self):
+        result, coupling, problem = _compiled(layers=2)
+        report = lint_program(result.program, coupling.edges,
+                              problem.edges, select=["RL032"])
+        assert not report.diagnostics
+
+
+class TestProgramTotals:
+    def test_expected_totals_cross_check(self):
+        result, coupling, problem = _compiled(layers=2)
+        program = result.program
+        good = lint_program(program, coupling.edges, problem.edges,
+                            expected=result.extra["program"])
+        assert good.ok
+        bad = lint_program(program, coupling.edges, problem.edges,
+                           expected={"ops": program.n_ops() + 1,
+                                     "swaps": program.swap_count()})
+        assert [d.code for d in bad.diagnostics].count("RL021") == 1

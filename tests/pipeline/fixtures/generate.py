@@ -35,10 +35,19 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.arch import grid  # noqa: E402
 from repro.arch.heavyhex import heavyhex_for  # noqa: E402
 from repro.compiler import compile_qaoa  # noqa: E402
-from repro.ir.serialize import circuit_to_dict  # noqa: E402
+from repro.ir.serialize import circuit_to_dict, program_to_dict  # noqa: E402
 from repro.problems import random_problem_graph  # noqa: E402
 
 GAMMA = 0.4
+
+#: The p-layer program fixture (``golden_program16.json``): a 4x4-grid
+#: 16-qubit instance assembled into a p=3 program per paper method.  The
+#: *entire* serialized program is pinned — gate for gate, mapping for
+#: mapping — not just a digest, so a drift diff is readable.
+PROGRAM_ARCH = ("grid-4x4", lambda: grid(4, 4))
+PROGRAM_PROBLEM = ("rand-16-0.3-s7", 16, 0.3, 7)
+PROGRAM_LAYERS = 3
+PROGRAM_METHODS = ("hybrid", "greedy", "ata")
 
 #: (label, factory) — instantiated fresh for every compilation.
 ARCHITECTURES = (
@@ -109,7 +118,41 @@ def main() -> int:
     out = FIXTURE_DIR / "golden64.json"
     out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {len(entries)} entries to {out}")
+    write_program_fixture()
     return 0
+
+
+def write_program_fixture() -> None:
+    """Pin the p=3 grid-16 program gate-for-gate per paper method."""
+    arch_label, arch_factory = PROGRAM_ARCH
+    prob_label, n, density, seed = PROGRAM_PROBLEM
+    entries = []
+    for method in PROGRAM_METHODS:
+        coupling = arch_factory()
+        problem = random_problem_graph(n, density, seed=seed)
+        result = compile_qaoa(coupling, problem, method=method,
+                              gamma=GAMMA, layers=PROGRAM_LAYERS)
+        result.validate(coupling, problem)
+        program = result.program
+        entries.append({
+            "method": method,
+            "cost_sha256": circuit_digest(result.circuit),
+            "program": program_to_dict(program),
+        })
+        print(f"{arch_label:12s} {prob_label:18s} {method:12s} "
+              f"p={program.p} layers={len(program.layers)} "
+              f"ops={program.n_ops()}", flush=True)
+    document = {
+        "generated_by": "tests/pipeline/fixtures/generate.py",
+        "arch": arch_label,
+        "problem": prob_label,
+        "gamma": GAMMA,
+        "layers": PROGRAM_LAYERS,
+        "entries": entries,
+    }
+    out = FIXTURE_DIR / "golden_program16.json"
+    out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {len(entries)} program entries to {out}")
 
 
 if __name__ == "__main__":

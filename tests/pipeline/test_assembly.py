@@ -1,0 +1,237 @@
+"""Program assembly: reversed-layer cancellation vs naive repetition.
+
+The property at the heart of ISSUE 7: the flattened p-layer program is
+logically equivalent to the naive construction — p copies of the
+compiled cost layer with explicit remapping SWAPs spliced between them —
+while containing strictly fewer ops whenever the layer permutation is
+nontrivial.  Circuits here contain only CPHASE (diagonal) and SWAP
+(permutation) gates, so logical equivalence is exact and checkable
+without simulation: equal multisets of *logical* CPHASE applications
+plus equal net qubit permutations.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.arch import architecture_for
+from repro.compiler import compile_qaoa
+from repro.ir.circuit import Circuit
+from repro.ir.gates import CPHASE, SWAP, Op
+from repro.ir.mapping import Mapping
+from repro.pipeline.assembly import AssemblyPass, assemble_program
+from repro.problems import random_problem_graph, weighted_random_problem_graph
+
+GAMMA = 0.4
+
+
+def logical_content(ops, mapping):
+    """(multiset of logical CPHASE applications, final layout tuple).
+
+    Walks physical ``ops`` from ``mapping`` (not mutated), resolving
+    each CPHASE to its logical edge under the layout at that moment.
+    """
+    current = mapping.copy()
+    gates = Counter()
+    for op in ops:
+        if op.kind == CPHASE:
+            lu = current.logical(op.qubits[0])
+            lv = current.logical(op.qubits[1])
+            assert lu is not None and lv is not None
+            gates[(min(lu, lv), max(lu, lv), round(op.param, 12))] += 1
+        elif op.kind == SWAP:
+            current.swap_physical(*op.qubits)
+    return gates, tuple(current.log_to_phys)
+
+
+def restore_ops(current, target):
+    """Minimal transpositions taking layout ``current`` to ``target``."""
+    work = current.copy()
+    ops = []
+    for q in range(work.n_logical):
+        if work.log_to_phys[q] != target.log_to_phys[q]:
+            a, b = work.log_to_phys[q], target.log_to_phys[q]
+            work.swap_physical(a, b)
+            ops.append(Op.swap(a, b))
+    assert work.log_to_phys == target.log_to_phys
+    return ops
+
+
+def naive_repetition(circuit, mapping, p):
+    """p copies of the compiled layer + explicit remapping between them."""
+    ops = []
+    current = mapping.copy()
+    for k in range(p):
+        if k > 0:
+            # Re-home every logical qubit so the next verbatim copy of
+            # the physical layer implements the intended logical edges.
+            back = restore_ops(current, mapping)
+            ops.extend(back)
+            current = mapping.copy()
+        ops.extend(circuit.ops)
+        for op in circuit.ops:
+            if op.kind == SWAP:
+                current.swap_physical(*op.qubits)
+    return Circuit.from_ops_unchecked(circuit.n_qubits, ops), current
+
+
+CASES = [("grid", 16, 0.3, 7), ("grid", 9, 0.35, 2),
+         ("heavyhex", 12, 0.3, 0), ("line", 8, 0.4, 5)]
+
+
+class TestReversedLayerProperty:
+    @pytest.mark.parametrize("arch,n,density,seed", CASES)
+    @pytest.mark.parametrize("p", [2, 3, 4])
+    def test_flatten_equivalent_to_naive_repetition(self, arch, n,
+                                                    density, seed, p):
+        coupling = architecture_for(arch, n)
+        problem = random_problem_graph(n, density, seed=seed)
+        result = compile_qaoa(coupling, problem, method="hybrid",
+                              gamma=GAMMA, layers=p, mixer="none")
+        program = result.program
+        mapping = result.initial_mapping
+
+        flat_gates, flat_final = logical_content(
+            program.flatten().ops, mapping)
+        naive, naive_mapping = naive_repetition(result.circuit, mapping, p)
+        naive_gates, naive_final = logical_content(naive.ops, mapping)
+
+        # Same logical CPHASE multiset: every edge phased p times at the
+        # compile angle, independent of construction.
+        assert flat_gates == naive_gates
+        expected = Counter({(u, v, round(GAMMA, 12)): p
+                            for u, v in problem.edges})
+        assert flat_gates == expected
+
+        # Bring both to the same layout; CPHASE-only content plus equal
+        # permutations == full logical equivalence.
+        assert flat_final == tuple(program.final_log_to_phys)
+        assert naive_final == tuple(naive_mapping.log_to_phys)
+        if p % 2 == 0:
+            assert program.net_permutation_is_identity
+
+    @pytest.mark.parametrize("arch,n,density,seed", CASES)
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_strictly_fewer_ops_than_naive(self, arch, n, density, seed, p):
+        coupling = architecture_for(arch, n)
+        problem = random_problem_graph(n, density, seed=seed)
+        result = compile_qaoa(coupling, problem, method="hybrid",
+                              gamma=GAMMA, layers=p, mixer="none")
+        single_perm_trivial = (
+            logical_content(result.circuit.ops,
+                            result.initial_mapping)[1]
+            == tuple(result.initial_mapping.log_to_phys))
+        naive, _ = naive_repetition(result.circuit,
+                                    result.initial_mapping, p)
+        assert result.program.n_ops() == p * len(result.circuit)
+        if single_perm_trivial:
+            assert result.program.n_ops() == len(naive)
+        else:
+            assert result.program.n_ops() < len(naive)
+
+
+class TestAssembleProgram:
+    def _compiled(self, weighted=False):
+        coupling = architecture_for("grid", 9)
+        problem = (weighted_random_problem_graph(9, 0.35, seed=2) if weighted
+                   else random_problem_graph(9, 0.35, seed=2))
+        result = compile_qaoa(coupling, problem, method="hybrid",
+                              gamma=GAMMA)
+        return result, problem
+
+    def test_p1_reuses_circuit_object(self):
+        result, problem = self._compiled()
+        program = assemble_program(result.circuit, result.initial_mapping,
+                                   layers=1, compile_gamma=GAMMA,
+                                   problem=problem)
+        assert program.layers[0].circuit is result.circuit
+
+    def test_reversed_layers_reuse_reversed_ops(self):
+        result, problem = self._compiled()
+        program = assemble_program(result.circuit, result.initial_mapping,
+                                   layers=2, mixer="none",
+                                   compile_gamma=GAMMA, problem=problem)
+        assert list(program.layers[1].circuit.ops) == \
+            list(result.circuit.ops)[::-1]
+
+    def test_custom_gammas_reangle(self):
+        result, problem = self._compiled()
+        program = assemble_program(result.circuit, result.initial_mapping,
+                                   layers=2, mixer="none",
+                                   gammas=[0.7, 0.9], compile_gamma=GAMMA,
+                                   problem=problem)
+        for layer, angle in zip(program.layers, (0.7, 0.9)):
+            assert layer.param == angle
+            cphases = [op for op in layer.circuit.ops if op.kind == CPHASE]
+            assert cphases and all(op.param == angle for op in cphases)
+
+    def test_weighted_reangles_per_edge(self):
+        result, problem = self._compiled(weighted=True)
+        program = assemble_program(result.circuit, result.initial_mapping,
+                                   layers=1, mixer="none",
+                                   gammas=[0.5], compile_gamma=GAMMA,
+                                   problem=problem)
+        layer = program.layers[0]
+        gates, _ = logical_content(layer.circuit.ops,
+                                   result.initial_mapping)
+        for (u, v, angle), _count in gates.items():
+            assert angle == round(0.5 * problem.weight(u, v), 12)
+
+    def test_mixer_wall_covers_homes(self):
+        result, problem = self._compiled()
+        program = assemble_program(result.circuit, result.initial_mapping,
+                                   layers=1, mixer="rx",
+                                   betas=[0.3], compile_gamma=GAMMA,
+                                   problem=problem)
+        wall = program.layers[1]
+        assert wall.role == "mixer"
+        assert wall.param == 0.3
+        homes = {op.qubits[0] for op in wall.circuit.ops}
+        assert homes == set(wall.input_log_to_phys)
+        assert all(op.param == 0.6 for op in wall.circuit.ops)
+
+    def test_argument_validation(self):
+        result, problem = self._compiled()
+        args = (result.circuit, result.initial_mapping)
+        with pytest.raises(ValueError, match="layers"):
+            assemble_program(*args, layers=0)
+        with pytest.raises(ValueError, match="mixer"):
+            assemble_program(*args, mixer="ry")
+        with pytest.raises(ValueError, match="gammas"):
+            assemble_program(*args, layers=2, gammas=[0.1])
+        with pytest.raises(ValueError, match="betas"):
+            assemble_program(*args, layers=2, betas=[0.1, 0.2, 0.3])
+
+
+class TestKnobRouting:
+    """layers/mixer reach every registry method, paper or baseline."""
+
+    @pytest.mark.parametrize("method", ["hybrid", "greedy", "ata", "sabre"])
+    def test_program_attached_and_cost_layer_stable(self, method):
+        coupling = architecture_for("grid", 9)
+        problem = random_problem_graph(9, 0.35, seed=2)
+        base = compile_qaoa(coupling, problem, method=method, gamma=GAMMA)
+        layered = compile_qaoa(coupling, problem, method=method,
+                               gamma=GAMMA, layers=2, mixer="none")
+        assert base.program is not None and base.program.p == 1
+        assert layered.program.p == 2
+        assert layered.program.mixer == "none"
+        assert list(base.circuit.ops) == list(layered.circuit.ops)
+        assert layered.extra["program"]["net_permutation_identity"]
+        layered.validate(coupling, problem)
+
+    def test_assembly_pass_constructor_overrides_knobs(self):
+        from repro.pipeline.context import CompilationContext
+
+        coupling = architecture_for("grid", 9)
+        problem = random_problem_graph(9, 0.35, seed=2)
+        result = compile_qaoa(coupling, problem, method="hybrid",
+                              gamma=GAMMA)
+        context = CompilationContext(
+            coupling=coupling, problem=problem, gamma=GAMMA,
+            method="hybrid", knobs={"layers": 5})
+        context.circuit = result.circuit
+        context.mapping = result.initial_mapping
+        AssemblyPass(layers=3, mixer="none").run(context)
+        assert context.program.p == 3
+        assert context.extras["program"]["p"] == 3

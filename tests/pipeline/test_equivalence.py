@@ -45,9 +45,10 @@ GOLDEN = {
 
 #: The pre-refactor ``extra["timings"]`` keys per method — preserved.
 EXPECTED_STAGES = {
-    "hybrid": {"placement", "pattern", "prediction", "greedy", "selection"},
-    "greedy": {"placement", "greedy"},
-    "ata": {"placement", "pattern", "prediction"},
+    "hybrid": {"placement", "pattern", "prediction", "greedy", "selection",
+               "assembly"},
+    "greedy": {"placement", "greedy", "assembly"},
+    "ata": {"placement", "pattern", "prediction", "assembly"},
 }
 
 

@@ -21,10 +21,18 @@ from repro.arch.heavyhex import heavyhex_for
 from repro.compiler import compile_qaoa
 from repro.problems import random_problem_graph
 
-from .fixtures.generate import (ARCHITECTURES, PROBLEMS, circuit_digest)
+from repro.ir.serialize import program_to_dict
+
+from .fixtures.generate import (ARCHITECTURES, PROBLEMS, PROGRAM_ARCH,
+                                PROGRAM_LAYERS, PROGRAM_METHODS,
+                                PROGRAM_PROBLEM, circuit_digest)
 
 FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden64.json"
 DOCUMENT = json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+PROGRAM_FIXTURE_PATH = (Path(__file__).parent / "fixtures"
+                        / "golden_program16.json")
+PROGRAM_DOCUMENT = json.loads(
+    PROGRAM_FIXTURE_PATH.read_text(encoding="utf-8"))
 
 ARCH_FACTORIES = dict(ARCHITECTURES)
 PROBLEM_SPECS = {label: (n, density, seed)
@@ -62,3 +70,42 @@ class TestGolden64:
             f"{entry['method']} on {entry['arch']}/{entry['problem']} no "
             "longer produces a byte-identical circuit; if intentional, "
             "regenerate tests/pipeline/fixtures/golden64.json")
+
+
+class TestGoldenProgram16:
+    """p=3 grid-16 program pinned gate-for-gate (ISSUE 7 satellite)."""
+
+    def _problem(self):
+        _, n, density, seed = PROGRAM_PROBLEM
+        return random_problem_graph(n, density, seed=seed)
+
+    @pytest.mark.parametrize(
+        "entry", PROGRAM_DOCUMENT["entries"],
+        ids=[e["method"] for e in PROGRAM_DOCUMENT["entries"]])
+    def test_program_gate_for_gate(self, entry):
+        coupling = PROGRAM_ARCH[1]()
+        result = compile_qaoa(coupling, self._problem(),
+                              method=entry["method"],
+                              gamma=PROGRAM_DOCUMENT["gamma"],
+                              layers=PROGRAM_DOCUMENT["layers"])
+        assert circuit_digest(result.circuit) == entry["cost_sha256"]
+        assert program_to_dict(result.program) == entry["program"], (
+            f"p={PROGRAM_LAYERS} program for {entry['method']} drifted "
+            "from golden_program16.json; if intentional, regenerate it")
+
+    @pytest.mark.parametrize("method", PROGRAM_METHODS)
+    def test_cost_layer_invariant_under_layers(self, method):
+        """``result.circuit`` is byte-identical for any ``layers``."""
+        problem = self._problem()
+        base = compile_qaoa(PROGRAM_ARCH[1](), problem, method=method,
+                            gamma=PROGRAM_DOCUMENT["gamma"])
+        layered = compile_qaoa(PROGRAM_ARCH[1](), problem, method=method,
+                               gamma=PROGRAM_DOCUMENT["gamma"],
+                               layers=PROGRAM_LAYERS)
+        assert circuit_digest(base.circuit) == circuit_digest(layered.circuit)
+        assert base.initial_mapping.log_to_phys == \
+            layered.initial_mapping.log_to_phys
+        # p=1 compiles carry a program too; its cost layer is the
+        # compiled circuit *object*, reused verbatim.
+        assert base.program is not None and base.program.p == 1
+        assert base.program.layers[0].circuit is base.circuit

@@ -1,0 +1,108 @@
+"""Weighted problem graphs and weighted MaxCut semantics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.problems import (ProblemGraph, random_problem_graph,
+                            weighted_random_problem_graph)
+from repro.problems.qaoa import QaoaProblem
+
+
+def _weighted_triangle():
+    return ProblemGraph(3, [(0, 1), (1, 2), (0, 2)], name="tri",
+                        weights={(0, 1): 2.0, (1, 2): 0.5, (0, 2): 1.5})
+
+
+class TestWeightedGraph:
+    def test_unweighted_by_default(self):
+        graph = ProblemGraph(3, [(0, 1), (1, 2)])
+        assert not graph.is_weighted
+        assert graph.weight(0, 1) == 1.0
+        assert graph.weight(2, 1) == 1.0
+
+    def test_weights_canonicalized(self):
+        graph = ProblemGraph(2, [(0, 1)], weights={(1, 0): 3.0})
+        assert graph.is_weighted
+        assert graph.weight(0, 1) == 3.0
+        assert graph.weight(1, 0) == 3.0
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ProblemGraph(3, [(0, 1), (1, 2)], weights={(0, 1): 2.0})
+
+    def test_stray_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ProblemGraph(3, [(0, 1)], weights={(0, 1): 1.0, (1, 2): 2.0})
+
+    def test_weight_of_non_edge_raises(self):
+        graph = _weighted_triangle()
+        with pytest.raises(KeyError):
+            graph.weight(0, 0)
+
+    def test_repr_tags_weighted(self):
+        assert "weighted" in repr(_weighted_triangle())
+        assert "weighted" not in repr(ProblemGraph(2, [(0, 1)]))
+
+
+class TestWeightedRandom:
+    def test_topology_matches_unweighted_twin(self):
+        base = random_problem_graph(10, 0.3, seed=4)
+        weighted = weighted_random_problem_graph(10, 0.3, seed=4)
+        assert sorted(weighted.edges) == sorted(base.edges)
+        assert weighted.is_weighted
+
+    def test_deterministic_per_seed(self):
+        a = weighted_random_problem_graph(8, 0.4, seed=1)
+        b = weighted_random_problem_graph(8, 0.4, seed=1)
+        c = weighted_random_problem_graph(8, 0.4, seed=2)
+
+        def table(graph):
+            return {edge: graph.weight(*edge) for edge in graph.edges}
+
+        assert table(a) == table(b)
+        assert table(a) != table(c)
+
+    def test_weights_in_range(self):
+        graph = weighted_random_problem_graph(12, 0.3, seed=0,
+                                              low=0.25, high=0.75)
+        assert all(0.25 <= graph.weight(u, v) <= 0.75
+                   for u, v in graph.edges)
+
+
+class TestWeightedMaxCut:
+    def test_cut_value_weighs_edges(self):
+        problem = QaoaProblem(_weighted_triangle())
+        # Vertex 0 alone on its side cuts edges (0,1) and (0,2).
+        value = problem.cut_value([1, 0, 0])
+        assert value == pytest.approx(2.0 + 1.5)
+
+    def test_cut_values_all_dtype(self):
+        weighted = QaoaProblem(_weighted_triangle())
+        unweighted = QaoaProblem(ProblemGraph(3, [(0, 1), (1, 2), (0, 2)]))
+        assert weighted.cut_values_all().dtype == np.float64
+        assert unweighted.cut_values_all().dtype == np.int64
+
+    def test_brute_force_types(self):
+        weighted = QaoaProblem(_weighted_triangle())
+        unweighted = QaoaProblem(ProblemGraph(3, [(0, 1), (1, 2), (0, 2)]))
+        assert isinstance(weighted.max_cut_brute_force(), float)
+        assert isinstance(unweighted.max_cut_brute_force(), int)
+        assert weighted.max_cut_brute_force() == pytest.approx(3.5)
+        assert unweighted.max_cut_brute_force() == 2
+
+    def test_logical_circuit_scales_angles(self):
+        problem = QaoaProblem(_weighted_triangle())
+        circuit = problem.logical_circuit([0.4], [0.3])
+        angles = {tuple(sorted(op.qubits)): op.param
+                  for op in circuit.ops if op.kind == "cphase"}
+        assert angles[(0, 1)] == pytest.approx(0.8)
+        assert angles[(1, 2)] == pytest.approx(0.2)
+        assert angles[(0, 2)] == pytest.approx(0.6)
+
+    def test_unweighted_angles_unchanged(self):
+        problem = QaoaProblem(ProblemGraph(3, [(0, 1), (1, 2)]))
+        circuit = problem.logical_circuit([0.4], [0.3])
+        angles = [op.param for op in circuit.ops if op.kind == "cphase"]
+        assert all(math.isclose(a, 0.4) for a in angles)

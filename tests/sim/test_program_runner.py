@@ -1,0 +1,177 @@
+"""Program-mode QaoaRunner: p-layer simulation end to end (ISSUE 7).
+
+Covers the compile -> simulate -> TVD loop for weighted MaxCut and the
+Hamiltonian-simulation benchmarks at p in {1, 2, 3}, the agreement
+between the program-mode logical circuit and the historic
+repeat-the-block construction, and the per-physical-layer ESP
+accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import NoiseModel, architecture_for
+from repro.compiler import compile_qaoa
+from repro.problems import (nnn_ising_1d, random_problem_graph,
+                            weighted_random_problem_graph)
+from repro.problems.qaoa import QaoaProblem
+from repro.sim import QaoaRunner, program_logical_circuit
+from repro.sim.statevector import probabilities, run_circuit
+
+GAMMA, BETA = 0.4, 0.3
+
+
+def _setup(graph, arch="grid", n_phys=None, layers=1, mixer="rx",
+           with_noise=True, seed=2):
+    coupling = architecture_for(arch, n_phys or graph.n_vertices)
+    result = compile_qaoa(coupling, graph, method="hybrid", gamma=GAMMA,
+                          layers=layers, mixer=mixer)
+    noise = NoiseModel(coupling, seed=seed) if with_noise else None
+    return QaoaProblem(graph), result, noise
+
+
+class TestProgramModeDispatch:
+    def test_p1_result_stays_in_legacy_mode(self):
+        graph = random_problem_graph(9, 0.35, seed=2)
+        problem, result, noise = _setup(graph, layers=1)
+        runner = QaoaRunner(problem, result, noise=noise)
+        assert runner.program is None and runner.p == 1
+        assert runner.cost_block is not None
+
+    def test_p2_result_enters_program_mode(self):
+        graph = random_problem_graph(9, 0.35, seed=2)
+        problem, result, noise = _setup(graph, layers=2)
+        runner = QaoaRunner(problem, result, noise=noise)
+        assert runner.program is result.program
+        assert runner.p == 2 and runner.cost_block is None
+
+    def test_explicit_p_overrides_program(self):
+        """Asking for a different depth falls back to block repetition."""
+        graph = random_problem_graph(9, 0.35, seed=2)
+        problem, result, noise = _setup(graph, layers=2)
+        runner = QaoaRunner(problem, result, noise=noise, p=3)
+        assert runner.program is None and runner.p == 3
+
+
+class TestProgramLogicalCircuit:
+    def test_matches_block_repetition_distribution(self):
+        """The program and the naive repeat-the-block logical circuits
+        produce the same ideal distribution (the compiled program is a
+        pure scheduling optimization)."""
+        graph = random_problem_graph(9, 0.35, seed=2)
+        problem, result, _ = _setup(graph, layers=2, with_noise=False)
+        _, single, _ = _setup(graph, layers=1, with_noise=False)
+        program_runner = QaoaRunner(problem, result, shots=100)
+        legacy_runner = QaoaRunner(problem, single, shots=100, p=2)
+        assert program_runner.program is not None
+        assert legacy_runner.program is None
+        angles = ([0.37, 0.52], [0.21, 0.44])
+        np.testing.assert_allclose(
+            program_runner.ideal_probabilities(*angles),
+            legacy_runner.ideal_probabilities(*angles), atol=1e-12)
+
+    @pytest.mark.parametrize("mixer", ["rx", "none"])
+    def test_mixer_styles_simulate_identically(self, mixer):
+        """Physical RX walls and virtual mixers are the same logical op."""
+        graph = random_problem_graph(9, 0.35, seed=2)
+        problem, result, _ = _setup(graph, layers=2, mixer=mixer,
+                                    with_noise=False)
+        circuit = program_logical_circuit(
+            problem, result.program, [GAMMA, GAMMA], [BETA, BETA])
+        reference = _setup(graph, layers=2, mixer="rx",
+                           with_noise=False)[1]
+        ref_circuit = program_logical_circuit(
+            problem, reference.program, [GAMMA, GAMMA], [BETA, BETA])
+        np.testing.assert_allclose(
+            probabilities(run_circuit(circuit)),
+            probabilities(run_circuit(ref_circuit)), atol=1e-12)
+
+    def test_angle_count_validated(self):
+        graph = random_problem_graph(9, 0.35, seed=2)
+        problem, result, _ = _setup(graph, layers=2, with_noise=False)
+        with pytest.raises(ValueError, match="p=2"):
+            program_logical_circuit(problem, result.program, [0.4], [0.3])
+
+
+class TestEspAccounting:
+    def test_program_esp_charges_every_layer(self):
+        graph = random_problem_graph(9, 0.35, seed=2)
+        problem, result, noise = _setup(graph, layers=2, mixer="none")
+        runner = QaoaRunner(problem, result, noise=noise)
+        expected = 1.0
+        for layer in result.program.layers:
+            expected *= noise.esp(layer.circuit)
+        assert runner.esp == pytest.approx(expected)
+
+    def test_reversed_layer_esp_squares(self):
+        """The reversed layer is the same op multiset, so a mixer-free
+        p=2 program costs exactly the square of one layer's ESP."""
+        graph = random_problem_graph(9, 0.35, seed=2)
+        problem, result, noise = _setup(graph, layers=2, mixer="none")
+        runner = QaoaRunner(problem, result, noise=noise)
+        single = noise.esp(result.circuit)
+        assert runner.esp == pytest.approx(single ** 2)
+
+    def test_mixer_walls_cost_noise(self):
+        graph = random_problem_graph(9, 0.35, seed=2)
+        problem, with_mixers, noise = _setup(graph, layers=2, mixer="rx")
+        _, without, _ = _setup(graph, layers=2, mixer="none")
+        esp_rx = QaoaRunner(problem, with_mixers, noise=noise).esp
+        esp_none = QaoaRunner(problem, without, noise=noise).esp
+        assert esp_rx < esp_none
+
+    def test_readout_homes_from_program_final_mapping(self):
+        graph = random_problem_graph(9, 0.35, seed=2)
+        problem, result, noise = _setup(graph, layers=2)
+        runner = QaoaRunner(problem, result, noise=noise,
+                            include_readout=True)
+        final = result.program.final_mapping()
+        assert runner.readout_rates == {
+            q: noise.readout_error[final.physical(q)]
+            for q in range(problem.n_qubits)}
+
+
+class TestEndToEndTvd:
+    """compile -> simulate -> TVD for p in {1, 2, 3} (ISSUE 7 acceptance)."""
+
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_weighted_maxcut_loop(self, p):
+        graph = weighted_random_problem_graph(8, 0.4, seed=1)
+        problem, result, noise = _setup(graph, arch="grid", n_phys=9,
+                                        layers=p)
+        runner = QaoaRunner(problem, result, noise=noise, shots=2000)
+        assert runner.p == p
+        value = runner.tvd_vs_ideal([GAMMA] * p, [BETA] * p)
+        assert 0.0 <= value <= 1.0
+        energy = runner.measure_energy([GAMMA] * p, [BETA] * p)
+        assert -problem.max_cut_brute_force() <= energy <= 0.0
+
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_nnn_ising_loop(self, p):
+        graph = nnn_ising_1d(8)
+        problem, result, noise = _setup(graph, arch="heavyhex", n_phys=16,
+                                        layers=p, mixer="none")
+        runner = QaoaRunner(problem, result, noise=noise, shots=2000)
+        assert runner.p == p
+        value = runner.tvd_vs_ideal([GAMMA] * p, [BETA] * p)
+        assert 0.0 <= value <= 1.0
+
+    def test_optimize_walks_2p_parameters(self):
+        graph = weighted_random_problem_graph(8, 0.4, seed=1)
+        problem, result, noise = _setup(graph, arch="grid", n_phys=9,
+                                        layers=2)
+        runner = QaoaRunner(problem, result, noise=noise, shots=1000)
+        trace = runner.optimize(max_rounds=6)
+        assert trace.rounds
+        assert all(len(r.gamma) == 2 and len(r.beta) == 2
+                   for r in trace.rounds)
+        assert trace.best_energy == min(trace.energies)
+        assert trace.esp == pytest.approx(runner.esp)
+
+    def test_deeper_programs_decohere_more(self):
+        graph = random_problem_graph(9, 0.35, seed=2)
+        esps = []
+        for p in (1, 2, 3):
+            problem, result, noise = _setup(graph, layers=p)
+            esps.append(QaoaRunner(problem, result, noise=noise).esp)
+        assert esps[0] > esps[1] > esps[2]

@@ -220,7 +220,7 @@ class TestLint:
         diagnostic = first["diagnostics"][0]
         assert set(diagnostic) == {"code", "severity", "rule", "message",
                                    "op_index", "cycle", "qubits", "logical",
-                                   "hint"}
+                                   "layer", "hint"}
 
     def test_qasm_input(self, capsys, tmp_path):
         # QASM carries no initial mapping, so the linter assumes the
