@@ -1,26 +1,12 @@
 #!/usr/bin/env python
-"""AST lint: no unordered-iteration in compiler hot paths.
+"""Back-compat shim over the CK001 checker rule.
 
-Compilation must be reproducible: the same instance and seed must yield
-the same circuit on every run and every machine.  Iterating a ``set`` /
-``frozenset`` (or ``dict.keys()`` pulled out explicitly, usually a tell
-that the author was thinking in sets) makes gate and SWAP choice depend
-on hash-iteration order, which is not a stable contract.  This script
-walks the compiler hot paths (``compiler/``, ``ata/``, ``pipeline/``,
-``solver/`` by default) and flags:
-
-* ``for x in set(...)`` / ``frozenset(...)`` / a set literal or set
-  comprehension, in statements and comprehensions;
-* iteration over a local name that was assigned one of those;
-* ``for k in d.keys()`` — iterate the dict (insertion-ordered) or sort.
-
-Wrapping the iterable in ``sorted(...)`` (or ``min``/``max``/``sum``,
-which are order-insensitive) silences the finding, as does a trailing
-``# det: ok`` comment on the offending line for sites where unordered
-iteration is provably harmless (e.g. building another set).
-
-Exit code 0 when clean, 1 with findings (one ``path:line: message`` per
-finding), 2 on usage errors.  Run from the repository root::
+The AST determinism checker that used to live here is now rule
+**CK001** of the :mod:`repro.checkers` static-analysis catalogue (run
+the full catalogue with ``python -m repro check``).  This script keeps
+the historic CLI contract byte-for-byte — same default hot paths, same
+messages, same ``# det: ok`` vetting, same 0/1/2 exit codes — so
+existing automation and muscle memory stay valid::
 
     python scripts/check_determinism.py
     python scripts/check_determinism.py src/repro/compiler src/repro/ata
@@ -28,10 +14,15 @@ finding), 2 on usage errors.  Run from the repository root::
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
-from typing import Iterable, Iterator, List, Set, Tuple
+from typing import Iterable, List
+
+try:
+    import repro.checkers as _checkers
+except ImportError:  # running without PYTHONPATH=src: use the repo tree
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    import repro.checkers as _checkers
 
 #: Directories scanned when none are given (relative to the repo root).
 DEFAULT_HOT_PATHS = ("src/repro/compiler", "src/repro/ata",
@@ -40,150 +31,30 @@ DEFAULT_HOT_PATHS = ("src/repro/compiler", "src/repro/ata",
                      "src/repro/ir")
 
 #: Calls whose result iterates in hash order.
-SET_CONSTRUCTORS = {"set", "frozenset"}
+SET_CONSTRUCTORS = set(_checkers.determinism.SET_CONSTRUCTORS)
 
 #: Magic comment that vets one line.
-SUPPRESSION = "# det: ok"
+SUPPRESSION = _checkers.LEGACY_DET_COMMENT
+
+#: CK001 plus CK000, so unparseable files surface as findings (the
+#: historic behaviour) instead of vanishing.
+_SELECT = ("CK001",)
 
 
-def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
-    """Does ``node`` evaluate to a set (literally or via a known name)?"""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
-            and node.func.id in SET_CONSTRUCTORS):
-        return True
-    if isinstance(node, ast.Name) and node.id in set_names:
-        return True
-    if isinstance(node, ast.BinOp) and isinstance(
-            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
-        # set algebra (a | b, required - done, ...) stays a set
-        return (_is_set_expr(node.left, set_names)
-                or _is_set_expr(node.right, set_names))
-    return False
-
-
-def _is_keys_call(node: ast.AST) -> bool:
-    return (isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "keys"
-            and not node.args and not node.keywords)
-
-
-class DeterminismVisitor(ast.NodeVisitor):
-    """Collect unordered-iteration findings for one module."""
-
-    def __init__(self) -> None:
-        self.findings: List[Tuple[int, str]] = []
-        #: Names assigned a set-valued expression, per enclosing scope.
-        self._scopes: List[Set[str]] = [set()]
-
-    # -- scope tracking -----------------------------------------------------
-
-    def _enter_scope(self) -> None:
-        self._scopes.append(set())
-
-    def _exit_scope(self) -> None:
-        self._scopes.pop()
-
-    @property
-    def _set_names(self) -> Set[str]:
-        names: Set[str] = set()
-        for scope in self._scopes:
-            names |= scope
-        return names
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._enter_scope()
-        self.generic_visit(node)
-        self._exit_scope()
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._enter_scope()
-        self.generic_visit(node)
-        self._exit_scope()
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        if _is_set_expr(node.value, self._set_names):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    self._scopes[-1].add(target.id)
-        else:
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    self._scopes[-1].discard(target.id)
-        self.generic_visit(node)
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        if (node.value is not None and isinstance(node.target, ast.Name)
-                and _is_set_expr(node.value, self._set_names)):
-            self._scopes[-1].add(node.target.id)
-        self.generic_visit(node)
-
-    # -- iteration sites ----------------------------------------------------
-
-    def _check_iter(self, iter_node: ast.AST, line: int) -> None:
-        if _is_set_expr(iter_node, self._set_names):
-            self.findings.append((
-                line,
-                "iteration over a set is hash-ordered; wrap it in "
-                "sorted(...) to keep compilations deterministic"))
-        elif _is_keys_call(iter_node):
-            self.findings.append((
-                line,
-                "iterate the dict directly (insertion-ordered) or wrap "
-                ".keys() in sorted(...)"))
-
-    def visit_For(self, node: ast.For) -> None:
-        self._check_iter(node.iter, node.iter.lineno)
-        self.generic_visit(node)
-
-    def _visit_comprehension(self, node: ast.AST) -> None:
-        for comp in getattr(node, "generators", []):
-            self._check_iter(comp.iter, comp.iter.lineno)
-        self.generic_visit(node)
-
-    visit_ListComp = _visit_comprehension
-    visit_GeneratorExp = _visit_comprehension
-    visit_DictComp = _visit_comprehension
-
-    def visit_SetComp(self, node: ast.SetComp) -> None:
-        # Building a *set* from a set is order-insensitive by definition.
-        self.generic_visit(node)
+def _format(diagnostics) -> List[str]:
+    return [f"{d.path}:{d.line}: {d.message}" for d in diagnostics]
 
 
 def check_source(source: str, path: str) -> List[str]:
     """Lint one module's source; returns ``path:line: message`` strings."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
-    visitor = DeterminismVisitor()
-    visitor.visit(tree)
-    lines = source.splitlines()
-    out = []
-    for line, message in sorted(visitor.findings):
-        text = lines[line - 1] if 0 < line <= len(lines) else ""
-        if SUPPRESSION in text:
-            continue
-        out.append(f"{path}:{line}: {message}")
-    return out
+    rules = _checkers.resolve_checkers(select=_SELECT)
+    return _format(_checkers.check_source(source, path, rules,
+                                          restrict=False))
 
 
 def check_paths(paths: Iterable[Path]) -> List[str]:
-    findings: List[str] = []
-    for base in paths:
-        files: Iterator[Path]
-        if base.is_file():
-            files = iter([base])
-        elif base.is_dir():
-            files = iter(sorted(base.rglob("*.py")))
-        else:
-            raise FileNotFoundError(f"no such file or directory: {base}")
-        for file in files:
-            findings.extend(
-                check_source(file.read_text(encoding="utf-8"), str(file)))
-    return findings
+    return _format(_checkers.check_paths(paths, select=_SELECT,
+                                         restrict=False))
 
 
 def main(argv: List[str]) -> int:

@@ -31,7 +31,7 @@ Public API highlights
 __version__ = "1.0.0"
 
 from .exceptions import (ArchitectureError, CompilationError, ReproError,
-                         SolverError, ValidationError)
+                         SolverError, SpecificationError, ValidationError)
 from .ir import Circuit, Mapping, Op, validate_compiled
 
 
@@ -119,5 +119,6 @@ __all__ = [
     "ArchitectureError",
     "CompilationError",
     "SolverError",
+    "SpecificationError",
     "__version__",
 ]

@@ -43,14 +43,16 @@ import signal
 import threading
 import time
 import warnings
-from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
-                                ThreadPoolExecutor)
+from concurrent.futures import (BrokenExecutor, Executor, Future,
+                                ProcessPoolExecutor, ThreadPoolExecutor)
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from types import FrameType
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Union)
 
 from .._telemetry import cache_delta, cache_info, count_event
-from ..exceptions import JobTimeoutError
+from ..exceptions import JobTimeoutError, SpecificationError
 from ..resilience.faults import fault_point, faults_active
 from ..resilience.retry import RetryPolicy, execute_with_retry
 from .jobs import BatchJob, JobResult
@@ -131,7 +133,7 @@ def _warm_heavy_imports() -> None:
     _imports_warmed = True
 
 
-def _inside_import_machinery(frame) -> bool:
+def _inside_import_machinery(frame: Optional[FrameType]) -> bool:
     """Is any frame on the stack executing the import system?
 
     Raising from the alarm handler while ``importlib`` is mid-module
@@ -154,11 +156,12 @@ class _deadline:
         self.armed = False
         self.disarming = False
 
-    def __enter__(self):
+    def __enter__(self) -> "_deadline":
         if self.seconds and self.seconds > 0:
             if _alarm_supported():
                 _warm_heavy_imports()
-                def _on_alarm(signum, frame):
+                def _on_alarm(signum: int,
+                              frame: Optional[FrameType]) -> None:
                     # Deferral cases (the re-fire interval retries in
                     # 50 ms): mid-disarm — a raise here would skip the
                     # setitimer(0) below and leak an armed timer into
@@ -182,7 +185,7 @@ class _deadline:
                 _note_timeout_unavailable()
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         self.disarming = True
         if self.armed:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
@@ -527,15 +530,15 @@ def compile_many(
         unfinished jobs are recorded as failures.
     """
     if executor not in EXECUTORS:
-        raise ValueError(
+        raise SpecificationError(
             f"unknown executor {executor!r}; expected one of {EXECUTORS}")
     job_list = list(jobs)
     if workers is None:
         workers = default_workers(len(job_list))
     if workers < 0:
-        raise ValueError(f"workers must be >= 0 (got {workers})")
+        raise SpecificationError(f"workers must be >= 0 (got {workers})")
     if max_pool_restarts < 0:
-        raise ValueError(
+        raise SpecificationError(
             f"max_pool_restarts must be >= 0 (got {max_pool_restarts})")
     # A malformed REPRO_FAULT_PLAN must abort the sweep here, not surface
     # later as per-job failures inside workers.
@@ -566,7 +569,8 @@ def compile_many(
             for index in pending:
                 finish(index, execute_job(job_list[index], timeout_s,
                                           retry))
-            return BatchReport(results, time.perf_counter() - start,
+            return BatchReport(_completed(results),
+                               time.perf_counter() - start,
                                workers=1, executor="serial",
                                timeout_s=timeout_s,
                                timeout_enforced=enforced,
@@ -582,15 +586,25 @@ def compile_many(
     finally:
         if journal_obj is not None:
             journal_obj.close()
-    return BatchReport(results, time.perf_counter() - start,
+    return BatchReport(_completed(results), time.perf_counter() - start,
                        workers=workers, executor=executor,
                        timeout_s=timeout_s, timeout_enforced=enforced,
                        pool_restarts=pool_restarts,
                        resumed_jobs=resumed_jobs)
 
 
-def _run_pooled(pool_cls, workers, job_list, pending, timeout_s, retry,
-                finish, max_pool_restarts) -> int:
+def _completed(results: List[Optional[JobResult]]) -> List[JobResult]:
+    """Narrow the slot list once every index has been finished."""
+    done = [r for r in results if r is not None]
+    assert len(done) == len(results), "unfinished job slot in results"
+    return done
+
+
+def _run_pooled(pool_cls: Callable[..., Executor], workers: int,
+                job_list: List[BatchJob], pending: List[int],
+                timeout_s: Optional[float], retry: Optional[RetryPolicy],
+                finish: Callable[[int, JobResult], None],
+                max_pool_restarts: int) -> int:
     """Fan ``pending`` out over fresh pools, rebuilding on breakage.
 
     A worker killed mid-job (OOM, segfault, injected fault) breaks the
@@ -604,7 +618,8 @@ def _run_pooled(pool_cls, workers, job_list, pending, timeout_s, retry,
     number of resubmission rounds taken (``batch.pool_restarts``).
     """
 
-    def collect(pool, futures: Dict, broken: List[int]) -> None:
+    def collect(pool: Executor, futures: Dict[Future[JobResult], int],
+                broken: List[int]) -> None:
         for future, index in futures.items():
             try:
                 finish(index, future.result())
@@ -658,7 +673,7 @@ def jobs_for(
     workloads: Sequence[str] = ("rand",),
     density: float = 0.3,
     seeds: Sequence[int] = (0,),
-    **job_kwargs,
+    **job_kwargs: Any,
 ) -> List[BatchJob]:
     """The cartesian product helper behind ``python -m repro batch``."""
     return [

@@ -12,9 +12,14 @@ caches amortize them across the jobs that worker handles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
+from ..exceptions import SpecificationError
 from ..pipeline.registry import available_methods, get_method
+
+if TYPE_CHECKING:  # runtime imports stay inside build(); see below
+    from ..arch import CouplingGraph, NoiseModel
+    from ..problems import ProblemGraph
 
 WORKLOADS = ("rand", "reg", "clique")
 
@@ -66,18 +71,18 @@ class BatchJob:
 
     def __post_init__(self) -> None:
         if self.n_qubits < 1:
-            raise ValueError(f"n_qubits must be >= 1 (got {self.n_qubits})")
+            raise SpecificationError(f"n_qubits must be >= 1 (got {self.n_qubits})")
         if not 0.0 <= self.density <= 1.0:
-            raise ValueError(
+            raise SpecificationError(
                 f"density must be in [0, 1] (got {self.density})")
         if self.workload not in WORKLOADS:
-            raise ValueError(
+            raise SpecificationError(
                 f"unknown workload {self.workload!r}; "
                 f"expected one of {WORKLOADS}")
         if self.layers < 1:
-            raise ValueError(f"layers must be >= 1 (got {self.layers})")
+            raise SpecificationError(f"layers must be >= 1 (got {self.layers})")
         if self.mixer not in ("rx", "none"):
-            raise ValueError(
+            raise SpecificationError(
                 f"unknown mixer {self.mixer!r}; expected 'rx' or 'none'")
         resolve_compiler(self.method)  # fail fast on unknown methods
 
@@ -95,13 +100,14 @@ class BatchJob:
             else f"{self.method}-p{self.layers}"
         return f"{self.arch}/{instance}/{method}"
 
-    def with_options(self, **options) -> "BatchJob":
+    def with_options(self, **options: object) -> "BatchJob":
         """A copy with extra compiler keyword arguments merged in."""
         merged = dict(self.options)
         merged.update(options)
         return replace(self, options=tuple(sorted(merged.items())))
 
-    def build(self):
+    def build(self) -> Tuple["CouplingGraph", "ProblemGraph",
+                             Optional["NoiseModel"]]:
         """Materialize ``(coupling, problem, noise)`` inside the worker."""
         from ..arch import NoiseModel, architecture_for
         from ..problems import (clique, random_problem_graph,

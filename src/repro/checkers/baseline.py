@@ -1,0 +1,129 @@
+"""The reviewed suppression baseline for checker findings.
+
+Findings that are provably safe but not worth restructuring code over
+(an import-time-only registry mutation, a deliberately process-local
+warning latch) live in a committed baseline file instead of inline
+comments, so every exemption carries a *reviewed justification* and
+shows up in diffs:
+
+.. code-block:: json
+
+    {"version": 1, "entries": [
+      {"code": "CK010", "path": "src/repro/pipeline/registry.py",
+       "symbol": "_REGISTRY",
+       "justification": "mutated only by import-time registration"}
+    ]}
+
+Matching is deliberately line-number-free — ``(code, path suffix,
+symbol)`` — so routine edits above a vetted site do not churn the
+baseline.  An entry without a non-empty justification is a usage error
+(exit 2): the whole point is that someone wrote down *why*.  Entries
+that no longer match anything are reported as stale so the file shrinks
+as findings are fixed for real.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from ..lint.diagnostics import Diagnostic
+
+BASELINE_VERSION = 1
+
+#: File name probed in the working directory when ``--baseline`` is not
+#: given (the repo root's committed baseline).
+DEFAULT_BASELINE_NAME = "CHECKERS_BASELINE.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or missing a justification."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One reviewed exemption."""
+
+    code: str
+    path: str
+    justification: str
+    #: When set, only findings about this named symbol match; ``None``
+    #: exempts the (code, path) pair wholesale.
+    symbol: Optional[str] = None
+
+    def matches(self, diagnostic: Diagnostic) -> bool:
+        if diagnostic.code != self.code:
+            return False
+        found = (diagnostic.path or "").replace("\\", "/")
+        if not found.endswith(self.path):
+            return False
+        return self.symbol is None or diagnostic.symbol == self.symbol
+
+
+def load_baseline(path: Union[str, Path]) -> Tuple[BaselineEntry, ...]:
+    """Parse and validate a baseline file (raises :class:`BaselineError`
+    on structural problems or entries without a justification)."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) \
+            or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: expected an object with version={BASELINE_VERSION}")
+    raw_entries = data.get("entries")
+    if not isinstance(raw_entries, list):
+        raise BaselineError(f"{path}: 'entries' must be a list")
+    entries: List[BaselineEntry] = []
+    for index, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            raise BaselineError(
+                f"{path}: entry #{index} must be an object")
+        code = raw.get("code")
+        entry_path = raw.get("path")
+        justification = raw.get("justification")
+        symbol = raw.get("symbol")
+        if not isinstance(code, str) or not code:
+            raise BaselineError(f"{path}: entry #{index} needs a 'code'")
+        if not isinstance(entry_path, str) or not entry_path:
+            raise BaselineError(f"{path}: entry #{index} needs a 'path'")
+        if not isinstance(justification, str) or not justification.strip():
+            raise BaselineError(
+                f"{path}: entry #{index} ({code} {entry_path}) has no "
+                f"justification; every baseline exemption must say why "
+                f"it is safe")
+        if symbol is not None and not isinstance(symbol, str):
+            raise BaselineError(
+                f"{path}: entry #{index} 'symbol' must be a string")
+        entries.append(BaselineEntry(
+            code=code, path=entry_path.replace("\\", "/"),
+            justification=justification, symbol=symbol))
+    return tuple(entries)
+
+
+def apply_baseline(
+    diagnostics: List[Diagnostic],
+    entries: Tuple[BaselineEntry, ...],
+) -> Tuple[List[Diagnostic], int, Tuple[BaselineEntry, ...]]:
+    """Split findings into (remaining, suppressed count, stale entries).
+
+    Stale entries matched nothing — the finding was fixed for real (or
+    the entry has a typo); they are reported so the baseline shrinks,
+    but do not fail the run.
+    """
+    used = [0] * len(entries)
+    remaining: List[Diagnostic] = []
+    suppressed = 0
+    for diagnostic in diagnostics:
+        for index, entry in enumerate(entries):
+            if entry.matches(diagnostic):
+                used[index] += 1
+                suppressed += 1
+                break
+        else:
+            remaining.append(diagnostic)
+    stale = tuple(entry for entry, count in zip(entries, used)
+                  if count == 0)
+    return remaining, suppressed, stale

@@ -7,12 +7,13 @@ Usage::
     python -m repro compare --arch sycamore --qubits 32 --density 0.3
     python -m repro batch --arch grid,heavyhex --qubits 24 --count 8 --workers 4
     python -m repro lint out.json --arch grid --qubits 16 --density 0.3
+    python -m repro check src/repro --format json
     python -m repro clique --arch grid --qubits 25
     python -m repro solve --arch line --qubits 6 --workload clique
     python -m repro info --arch heavyhex --qubits 64
 
-``lint`` exit codes: 0 clean, 1 error-severity diagnostics found,
-2 usage/load problems.
+``lint`` and ``check`` exit codes: 0 clean, 1 error-severity
+diagnostics found, 2 usage/load problems.
 """
 
 from __future__ import annotations
@@ -202,6 +203,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="do not report never-executed problem edges")
     lint_p.add_argument("--strict", action="store_true",
                         help="exit 1 on warnings as well as errors")
+
+    check_p = sub.add_parser(
+        "check", help="statically analyze the repro source tree itself "
+                      "(CK0xx rule catalogue)")
+    check_p.add_argument("paths", nargs="*", metavar="PATH",
+                         help="files or directory trees to scan "
+                              "(default: src/repro)")
+    check_p.add_argument("--select", metavar="CODES", default=None,
+                         help="comma-separated rule codes to run "
+                              "exclusively (e.g. CK001,CK010)")
+    check_p.add_argument("--ignore", metavar="CODES", default=None,
+                         help="comma-separated rule codes to skip")
+    check_p.add_argument("--format", default="text",
+                         choices=["text", "json"], dest="fmt")
+    check_p.add_argument("--baseline", metavar="FILE", default=None,
+                         help="reviewed suppression baseline (default: "
+                              "CHECKERS_BASELINE.json when present)")
+    check_p.add_argument("--no-baseline", action="store_true",
+                         help="report every finding, baseline or not")
+    check_p.add_argument("--no-restrict", action="store_true",
+                         help="run every rule on every file, ignoring "
+                              "per-rule hot-path restrictions")
+    check_p.add_argument("--output", metavar="FILE", default=None,
+                         help="additionally write the JSON report here "
+                              "(the CI artifact)")
+    check_p.add_argument("--list-rules", action="store_true",
+                         help="print the rule catalogue and exit")
 
     clique_p = sub.add_parser("clique",
                               help="compile the all-to-all special case")
@@ -459,6 +487,64 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from dataclasses import asdict
+    from pathlib import Path
+
+    from .checkers import (DEFAULT_BASELINE_NAME, all_checkers,
+                           apply_baseline, check_paths, load_baseline)
+    from .lint.diagnostics import LintReport
+    from .lint.reporters import render_json, render_text
+
+    if args.list_rules:
+        for rule in all_checkers():
+            print(f"{rule.code}  {rule.name:<24} {rule.severity}")
+            print(f"       {rule.description}")
+            print(f"       escape: {rule.escape}")
+        return 0
+
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
+    paths = args.paths or ["src/repro"]
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline \
+            and Path(DEFAULT_BASELINE_NAME).is_file():
+        baseline_path = DEFAULT_BASELINE_NAME
+    try:
+        entries = load_baseline(baseline_path) \
+            if baseline_path and not args.no_baseline else ()
+        findings = check_paths(
+            paths,
+            select=tuple(select) if select else None,
+            ignore=tuple(ignore) if ignore else None,
+            restrict=not args.no_restrict)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    remaining, suppressed, stale = apply_baseline(findings, tuple(entries))
+    report = LintReport(diagnostics=remaining)
+    source = " ".join(str(p) for p in paths)
+    payload = render_json(report, source=source)
+    payload["suppressed_baseline"] = suppressed
+    payload["stale_baseline"] = [asdict(entry) for entry in stale]
+    if args.output:
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n",
+                                     encoding="utf-8")
+    if args.fmt == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_text(report, source=source))
+        if suppressed:
+            print(f"  {suppressed} finding(s) suppressed by baseline "
+                  f"({baseline_path})")
+        for entry in stale:
+            print(f"  stale baseline entry: {entry.code} {entry.path} "
+                  f"{entry.symbol or ''} — finding no longer occurs; "
+                  f"remove it".rstrip())
+    return 1 if report.errors else 0
+
+
 def _cmd_compare(args) -> int:
     problem = random_problem_graph(args.qubits, args.density, seed=args.seed)
     coupling = architecture_for(args.arch, args.qubits)
@@ -573,6 +659,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "batch": _cmd_batch,
     "lint": _cmd_lint,
+    "check": _cmd_check,
     "clique": _cmd_clique,
     "solve": _cmd_solve,
     "info": _cmd_info,

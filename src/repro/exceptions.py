@@ -13,7 +13,16 @@ layer (:mod:`repro.resilience`) keys on:
   :class:`SolverExhaustedError` instead of failing the job.
 
 Everything else is permanent: retrying is wasted work and the failure
-surfaces immediately.
+surfaces immediately.  :class:`SpecificationError` (and its subclasses)
+marks the *caller-error* half of that permanent set — invalid job specs,
+unknown knobs, unusable journals — distinct from genuine compilation
+failures.
+
+Every ``raise`` in the retry-reachable subsystems (``batch``,
+``pipeline``, ``solver``, ``resilience``) must use a class defined in
+this module; the CK020 static check (:mod:`repro.checkers`) enforces
+that, because the retry layer silently treats unknown exception types
+as permanent.
 """
 
 
@@ -36,6 +45,33 @@ class ResourceExhaustedError(ReproError):
     Not transient — retrying identical work exhausts the same budget —
     but eligible for *degradation* to a cheaper strategy where one is
     registered (see :class:`repro.pipeline.solver.SolverPass`).
+    """
+
+
+class SpecificationError(ReproError, ValueError):
+    """An invalid job, method, knob or plan specification (caller error).
+
+    Permanent by classification: the same spec fails identically on
+    every attempt, so the retry layer must never re-run it.  Subclasses
+    :class:`ValueError` because these sites historically raised plain
+    ``ValueError`` — callers (and tests) catching that keep working.
+    """
+
+
+class UnknownKnobError(SpecificationError, TypeError):
+    """A compile call passed a knob no method declares.
+
+    Additionally subclasses :class:`TypeError` to match the historic
+    "unexpected keyword argument" contract of ``compile_qaoa``.
+    """
+
+
+class JournalError(SpecificationError):
+    """A journal file cannot be used for the requested resume.
+
+    Lives here (rather than in :mod:`repro.resilience.journal`, which
+    re-exports it) so the whole transient/permanent taxonomy is defined
+    in one module — the CK020 static check keys on exactly this set.
     """
 
 

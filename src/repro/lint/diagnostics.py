@@ -47,9 +47,33 @@ class Diagnostic:
     #: Program layer index when linting a layered program; ``None`` for
     #: plain single-circuit lint runs.
     layer: Optional[int] = None
+    #: Source-file coordinates for *static* findings (``repro.checkers``);
+    #: ``None`` for circuit lint, where ``op_index``/``cycle`` locate the
+    #: finding instead.
+    path: Optional[str] = None
+    line: Optional[int] = None
+    #: Named program entity the finding is about (a global, a fault-point
+    #: site, a knob name) — used for baseline matching.
+    symbol: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-JSON form (the batch/CLI reporter payload)."""
+        """Plain-JSON form (the batch/CLI reporter payload).
+
+        The source-coordinate keys (``path``/``line``/``symbol``) appear
+        only on static findings, so the circuit-lint payload is
+        unchanged by their existence.
+        """
+        if self.path is not None:
+            return {
+                "code": self.code,
+                "severity": self.severity,
+                "rule": self.rule,
+                "message": self.message,
+                "path": self.path,
+                "line": self.line,
+                "symbol": self.symbol,
+                "hint": self.hint,
+            }
         return {
             "code": self.code,
             "severity": self.severity,
@@ -65,7 +89,13 @@ class Diagnostic:
         }
 
     def location(self) -> str:
-        """Compact ``layer k op#i cycle c`` prefix for text rendering."""
+        """Compact ``layer k op#i cycle c`` prefix for text rendering.
+
+        Static findings render as the familiar ``path:line`` instead.
+        """
+        if self.path is not None:
+            return (f"{self.path}:{self.line}" if self.line is not None
+                    else self.path)
         parts: List[str] = []
         if self.layer is not None:
             parts.append(f"layer {self.layer}")
@@ -77,9 +107,13 @@ class Diagnostic:
             parts.append(f"qubits {tuple(self.qubits)}")
         return " ".join(parts) if parts else "circuit"
 
-    def sort_key(self) -> Tuple[int, int, int, str]:
+    def sort_key(self) -> Tuple[Any, ...]:
         """Layer, then op order (circuit-level findings last), then
-        severity."""
+        severity.  Static findings sort by ``(path, line)`` instead."""
+        if self.path is not None:
+            return (self.path, self.line if self.line is not None else 0,
+                    _SEVERITY_RANK.get(self.severity, len(SEVERITIES)),
+                    self.code)
         layer = self.layer if self.layer is not None else -1
         index = self.op_index if self.op_index is not None else 1 << 30
         return (layer, index,

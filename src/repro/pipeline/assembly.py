@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..exceptions import SpecificationError
 from ..ir.circuit import Circuit
 from ..ir.gates import CPHASE, SWAP, Op
 from ..ir.mapping import Mapping
@@ -50,7 +51,7 @@ def _reangled_layer(circuit: Circuit, ops: Sequence[Op], mapping: Mapping,
             lu = mapping.logical(op.qubits[0])
             lv = mapping.logical(op.qubits[1])
             if lu is None or lv is None:
-                raise ValueError(
+                raise SpecificationError(
                     f"cannot re-angle {op!r}: it touches an unoccupied "
                     f"physical qubit")
             weight = (problem.weight(lu, lv)
@@ -100,14 +101,14 @@ def assemble_program(
         (weighted MaxCut).
     """
     if layers < 1:
-        raise ValueError(f"layers must be >= 1, got {layers}")
+        raise SpecificationError(f"layers must be >= 1, got {layers}")
     if mixer not in MIXERS:
-        raise ValueError(f"unknown mixer {mixer!r}; expected one of {MIXERS}")
+        raise SpecificationError(f"unknown mixer {mixer!r}; expected one of {MIXERS}")
     if gammas is not None and len(gammas) != layers:
-        raise ValueError(
+        raise SpecificationError(
             f"gammas has {len(gammas)} entries for {layers} cost layers")
     if betas is not None and len(betas) != layers:
-        raise ValueError(
+        raise SpecificationError(
             f"betas has {len(betas)} entries for {layers} mixer layers")
 
     n_qubits = circuit.n_qubits

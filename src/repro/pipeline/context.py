@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..arch.coupling import CouplingGraph
+from ..exceptions import SpecificationError
 from ..arch.noise import NoiseModel
 from ..ata.base import AtaPattern
 from ..compiler.greedy import GreedyTrace
@@ -85,7 +86,7 @@ class CompilationContext:
         for mis-assembled custom pipelines)."""
         for name in fields:
             if getattr(self, name) is None:
-                raise ValueError(
+                raise SpecificationError(
                     f"pipeline pass needs context.{name} but no earlier "
                     f"pass produced it; check the pass order")
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 import warnings
 
 from ..ata.registry import get_pattern
+from ..exceptions import SpecificationError
 from ..compiler.mapping import (degree_placement, noise_aware_placement,
                                 quadratic_placement, trivial_placement)
 from .base import Pass
@@ -61,7 +62,7 @@ class PlacementPass(Pass):
         elif placement == "trivial":
             context.mapping = trivial_placement(coupling, problem)
         else:
-            raise ValueError(f"unknown placement {placement!r}")
+            raise SpecificationError(f"unknown placement {placement!r}")
         return True
 
 

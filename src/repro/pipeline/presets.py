@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
+from ..exceptions import SpecificationError, UnknownKnobError
 from .assembly import AssemblyPass
 from .base import Pass, PassObserver, Pipeline
 from .context import CompilationContext
@@ -74,13 +75,13 @@ def build_context(
     options = dict(options or {})
     unknown = sorted(set(options) - set(PAPER_KNOBS))
     if unknown:
-        raise TypeError(
+        raise UnknownKnobError(
             f"compile_qaoa() got unexpected keyword argument(s) "
             f"{', '.join(map(repr, unknown))} for method {method!r}")
     knobs = {**PAPER_KNOBS, **options}
     max_predictions = knobs["max_predictions"]
     if max_predictions < 1:
-        raise ValueError(
+        raise SpecificationError(
             f"max_predictions must be >= 1 (got {max_predictions}); 1 "
             "keeps only the pure-ATA prediction, the default 24 samples "
             "evenly")
@@ -107,7 +108,7 @@ def build_pipeline(
     passes are ordered that way — hence lint before validate).
     """
     if method not in PRESETS:
-        raise ValueError(
+        raise SpecificationError(
             f"no pipeline preset for method {method!r}; "
             f"expected one of {tuple(PRESETS)}")
     passes = [factory() for factory in PRESETS[method]]

@@ -20,11 +20,34 @@ cost once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Tuple
+
+from ..exceptions import SpecificationError
+from typing import Callable, Dict, FrozenSet, Tuple
 
 #: Runner signature: ``(coupling, problem, noise, gamma, on_pass_end,
 #: options) -> CompiledResult``.
 MethodRunner = Callable[..., object]
+
+#: Knob names the paper presets understand.  This is the *declared*
+#: schema the CK030 static check validates pass-level knob reads
+#: against; a drift-guard test pins it equal to the keys of
+#: ``presets.PAPER_KNOBS`` (kept as a literal here because this module
+#: must stay import-light — it cannot pull in the preset pipeline).
+PAPER_KNOB_NAMES: Tuple[str, ...] = (
+    "initial_mapping", "placement", "alpha", "max_predictions",
+    "matching", "crosstalk_aware", "use_range_detection", "pattern",
+    "greedy_cycle_cap", "unify_swaps", "allow_repeats", "layers",
+    "mixer", "gammas", "betas")
+
+#: Knobs of the depth-optimal solver method (read by ``SolverPass``).
+SOLVER_KNOB_NAMES: Tuple[str, ...] = (
+    "max_nodes", "prune_unhelpful_swaps", "use_heuristic",
+    "minimize_swaps", "strategy", "fallback")
+
+#: Program-assembly knobs every method accepts (``_pop_assembly``
+#: forwards them to ``AssemblyPass`` for baselines and the solver).
+ASSEMBLY_KNOB_NAMES: Tuple[str, ...] = ("layers", "mixer", "gammas",
+                                        "betas")
 
 
 @dataclass(frozen=True)
@@ -37,6 +60,10 @@ class MethodSpec:
     kind: str
     runner: MethodRunner = field(repr=False)
     description: str = ""
+    #: Knob names this method understands.  Baseline methods forward
+    #: any further keyword arguments verbatim to the wrapped compiler
+    #: function; for pipeline methods this is the complete schema.
+    knobs: Tuple[str, ...] = ()
 
     def compile(self, coupling, problem, noise=None, gamma: float = 0.0,
                 on_pass_end=None, **options):
@@ -49,7 +76,7 @@ class MethodSpec:
         :class:`repro.pipeline.base.Pipeline`.
         """
         if problem.n_vertices > coupling.n_qubits:
-            raise ValueError(
+            raise SpecificationError(
                 f"problem has {problem.n_vertices} qubits but "
                 f"{coupling.name} has only {coupling.n_qubits}")
         return self.runner(coupling, problem, noise, gamma, on_pass_end,
@@ -81,7 +108,7 @@ def get_method(name: str) -> MethodSpec:
     try:
         return _REGISTRY[canonical]
     except KeyError:
-        raise ValueError(
+        raise SpecificationError(
             f"unknown compiler method {name!r}; registered methods: "
             f"{', '.join(available_methods())}") from None
 
@@ -94,6 +121,19 @@ def available_methods() -> Tuple[str, ...]:
 def method_table() -> Dict[str, str]:
     """``{name: description}`` for help text and docs."""
     return {name: spec.description for name, spec in _REGISTRY.items()}
+
+
+def declared_knobs() -> FrozenSet[str]:
+    """Union of every registered method's declared knob names.
+
+    The CK030 static check validates each ``context.knob(...)`` read in
+    a ``Pass`` subclass against this set, so a pass cannot grow a knob
+    that no method exposes to callers.
+    """
+    names = set()
+    for spec in _REGISTRY.values():
+        names.update(spec.knobs)
+    return frozenset(names)
 
 
 # ---------------------------------------------------------------------------
@@ -172,7 +212,8 @@ def _register_stock_methods() -> None:
         ("ata", "rigid structured-pattern following ('solver' bars)"),
     ):
         register_method(MethodSpec(method, "paper",
-                                   _paper_runner(method), description))
+                                   _paper_runner(method), description,
+                                   knobs=PAPER_KNOB_NAMES))
 
     def baseline(loader_name: str) -> Callable[[], Callable]:
         def load() -> Callable:
@@ -198,13 +239,14 @@ def _register_stock_methods() -> None:
         register_method(
             MethodSpec(name, "baseline",
                        _baseline_runner(name, baseline(loader_name)),
-                       description),
+                       description, knobs=ASSEMBLY_KNOB_NAMES),
             aliases=aliases)
 
     register_method(
         MethodSpec("optimal", "exact", _solver_runner(),
                    "depth-optimal A*/IDA* search "
-                   "(Section 4; small instances only)"),
+                   "(Section 4; small instances only)",
+                   knobs=SOLVER_KNOB_NAMES + ASSEMBLY_KNOB_NAMES),
         aliases=("exact",))
 
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ..compiler.selector import score_candidates
+from ..exceptions import SpecificationError
 from .base import Pass
 from .context import CompilationContext
 
@@ -22,7 +23,7 @@ class SelectionPass(Pass):
 
     def run(self, context: CompilationContext):
         if not context.candidates:
-            raise ValueError(
+            raise SpecificationError(
                 "SelectionPass needs a non-empty candidate pool; run "
                 "PredictionPass/CandidatePass first")
         context.require("trace")

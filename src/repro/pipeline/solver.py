@@ -20,7 +20,7 @@ error, which is what ``python -m repro solve`` wants.
 from __future__ import annotations
 
 from .._telemetry import count_event
-from ..exceptions import ResourceExhaustedError
+from ..exceptions import ResourceExhaustedError, SpecificationError
 from .base import Pass
 from .context import CompilationContext
 
@@ -76,7 +76,7 @@ class SolverPass(Pass):
             if not fallback:
                 raise
             if fallback not in FALLBACKS:
-                raise ValueError(
+                raise SpecificationError(
                     f"unknown solver fallback {fallback!r}; expected "
                     f"one of {FALLBACKS} (or None to disable)") from exc
             self._degrade(context, exc, str(fallback))

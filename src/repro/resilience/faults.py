@@ -62,15 +62,24 @@ import os
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Type
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 from ..exceptions import (CompilationError, JobTimeoutError,
                           ResourceExhaustedError, SolverError,
-                          SolverExhaustedError, TransientError,
-                          ValidationError)
+                          SolverExhaustedError, SpecificationError,
+                          TransientError, ValidationError)
 
 #: Environment variable carrying a serialized plan (JSON, or ``@file``).
 ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Every registered fault-point site name (the module table above).
+#: ``fault_point`` calls must use one of these — the CK021 static check
+#: enforces it — so a typo'd site can never make a chaos plan
+#: vacuously pass.  Extend this tuple (and the table) when compiling a
+#: new injection site into a code path.
+KNOWN_SITES: Tuple[str, ...] = ("batch.job", "batch.collect",
+                                "pipeline.pass", "solver.solve",
+                                "solver.expand")
 
 ACTIONS = ("raise", "timeout", "sleep", "kill")
 
@@ -112,14 +121,14 @@ class FaultSpec:
 
     def __post_init__(self) -> None:
         if self.action not in ACTIONS:
-            raise ValueError(f"unknown fault action {self.action!r}; "
+            raise SpecificationError(f"unknown fault action {self.action!r}; "
                              f"expected one of {ACTIONS}")
         if self.action == "raise" and self.error not in ERROR_CLASSES:
-            raise ValueError(
+            raise SpecificationError(
                 f"unknown fault error class {self.error!r}; expected one "
                 f"of {tuple(ERROR_CLASSES)}")
         if self.at < 0 or self.times < 1:
-            raise ValueError(
+            raise SpecificationError(
                 f"need at >= 0 and times >= 1 (got at={self.at}, "
                 f"times={self.times})")
 
@@ -170,11 +179,11 @@ class FaultPlan:
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
         if not isinstance(data, dict) or "faults" not in data:
-            raise ValueError(
+            raise SpecificationError(
                 "fault plan JSON must be an object with a 'faults' list")
         faults = data["faults"]
         if not isinstance(faults, list):
-            raise ValueError("'faults' must be a list of fault specs")
+            raise SpecificationError("'faults' must be a list of fault specs")
         return cls([FaultSpec(**spec) for spec in faults])
 
     def to_env(self) -> str:
@@ -205,7 +214,7 @@ def _load_env_plan() -> Optional[FaultPlan]:
                 raw = handle.read()
         plan = FaultPlan.from_dict(json.loads(raw))
     except (OSError, ValueError, TypeError) as exc:
-        raise ValueError(f"invalid {ENV_VAR}: {exc}") from exc
+        raise SpecificationError(f"invalid {ENV_VAR}: {exc}") from exc
     _state = plan
     return plan
 

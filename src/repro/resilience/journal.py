@@ -40,12 +40,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..batch.jobs import BatchJob, JobResult
+from ..exceptions import JournalError
 
 JOURNAL_VERSION = 1
 
-
-class JournalError(ValueError):
-    """A journal file cannot be used for the requested resume."""
+__all__ = ["JOURNAL_VERSION", "BatchJournal", "JournalError",
+           "job_fingerprint"]
 
 
 def job_fingerprint(jobs: Sequence[BatchJob]) -> str:

@@ -34,7 +34,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .._telemetry import count_event
-from ..exceptions import JobTimeoutError, TransientError
+from ..exceptions import (JobTimeoutError, SpecificationError,
+                          TransientError)
 
 
 @dataclass(frozen=True)
@@ -65,15 +66,15 @@ class RetryPolicy:
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
-            raise ValueError(
+            raise SpecificationError(
                 f"max_attempts must be >= 1 (got {self.max_attempts})")
         if self.base_delay_s < 0 or self.max_delay_s < 0:
-            raise ValueError("delays must be >= 0")
+            raise SpecificationError("delays must be >= 0")
         if self.multiplier < 1.0:
-            raise ValueError(
+            raise SpecificationError(
                 f"multiplier must be >= 1 (got {self.multiplier})")
         if not 0.0 <= self.jitter < 1.0:
-            raise ValueError(
+            raise SpecificationError(
                 f"jitter must be in [0, 1) (got {self.jitter})")
 
     # -- classification -----------------------------------------------------

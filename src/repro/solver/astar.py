@@ -59,7 +59,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .._telemetry import count_event
 from ..arch.coupling import CouplingGraph
-from ..exceptions import SolverError, SolverExhaustedError
+from ..exceptions import (SolverError, SolverExhaustedError,
+                          SpecificationError)
 from ..ir.circuit import Circuit
 from ..ir.gates import Op, canonical_edge, canonical_edges
 from ..ir.mapping import Mapping
@@ -158,7 +159,7 @@ def solve_depth_optimal(
     way.
     """
     if strategy not in STRATEGIES:
-        raise ValueError(
+        raise SpecificationError(
             f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
     fault_point("solver.solve")
     started = time.perf_counter()

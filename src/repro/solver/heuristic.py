@@ -39,11 +39,13 @@ from typing import Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 
+from ..exceptions import SpecificationError
+
 
 def pair_cost(deg_i: int, deg_j: int, distance: int) -> int:
     """Definition 3 lower bound for one remaining pair at ``distance``."""
     if distance < 1:
-        raise ValueError("pair with a remaining gate must have distance >= 1")
+        raise SpecificationError("pair with a remaining gate must have distance >= 1")
     crossing = (deg_i + deg_j + distance) // 2  # ceil((di + dj + d - 1) / 2)
     if deg_i >= crossing:
         return deg_i

@@ -25,7 +25,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..arch.coupling import CouplingGraph
-from ..exceptions import SolverError
+from ..exceptions import SolverError, SpecificationError
 from ..ir.circuit import Circuit
 from ..ir.gates import Op, canonical_edge, canonical_edges
 from ..ir.mapping import Mapping
@@ -38,7 +38,7 @@ _StateKey = Tuple[Tuple[Optional[int], ...], FrozenSet[Tuple[int, int]]]
 def _pair_cost_legacy(deg_i: int, deg_j: int, distance: int) -> int:
     """The original O(d) Definition-3 scan (the closed form's test oracle)."""
     if distance < 1:
-        raise ValueError("pair with a remaining gate must have distance >= 1")
+        raise SpecificationError("pair with a remaining gate must have distance >= 1")
     swaps_needed = distance - 1
     best: Optional[int] = None
     for x in range(swaps_needed + 1):

@@ -1,0 +1,24 @@
+"""CK001 fixture: unordered iteration — two findings, three escapes."""
+
+
+def hash_ordered(edges, weights):
+    pending = set(edges)
+    total = 0
+    for edge in pending:
+        total += len(edge)  # finding: iterating a set-valued name
+    for key in weights.keys():
+        total += weights[key]  # finding: explicit .keys() iteration
+    for edge in sorted(pending):
+        total -= len(edge)  # escape: sorted(...) fixes the order
+    for edge in pending:  # det: ok
+        total += 1  # escape: vetted line
+    # finding: a genexp over a set is still hash-ordered iteration,
+    # even when its result feeds an order-insensitive reducer.
+    return total + sum(len(e) for e in pending if e)
+
+
+def rebound_is_clean(edges):
+    pending = set(edges)
+    pending = list(edges)
+    for edge in pending:  # clean: reassignment cleared the taint
+        yield edge

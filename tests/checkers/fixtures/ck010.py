@@ -1,0 +1,26 @@
+"""CK010 fixture: module-level state mutated from inside functions."""
+
+_CACHE = {}
+_MODE = "idle"
+FROZEN = (1, 2)
+
+
+def remember(key, value):
+    _CACHE[key] = value  # finding: subscript store into a module dict
+
+
+def forget_all():
+    _CACHE.clear()  # finding: mutator call on a module dict
+
+
+def set_mode(mode):
+    global _MODE  # finding: rebinds module state
+    _MODE = mode
+
+
+def local_state_is_clean(items):
+    cache = {}
+    for item in items:
+        cache[item] = item
+    cache.clear()
+    return cache, FROZEN

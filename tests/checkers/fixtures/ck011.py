@@ -1,0 +1,15 @@
+"""CK011 fixture: unpicklable callables crossing process boundaries."""
+
+
+def run_job(payload):
+    return payload
+
+
+def submit_all(pool, jobs):
+    def bridge(job):
+        return run_job(job)
+
+    futures = [pool.submit(bridge, job) for job in jobs]  # finding
+    sentinel = pool.submit(lambda: None)  # finding: lambda argument
+    module_level_is_clean = pool.submit(run_job, jobs)
+    return futures, sentinel, module_level_is_clean

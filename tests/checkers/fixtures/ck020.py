@@ -1,0 +1,13 @@
+"""CK020 fixture: an unclassified raise on a retry-reachable path."""
+
+
+def run_with_budget(budget):
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")  # finding
+    if budget == 0:
+        raise NotImplementedError("zero budgets")  # clean: allowed builtin
+    return budget
+
+
+def reraise_is_clean(exc):
+    raise exc

@@ -1,0 +1,18 @@
+"""CK030 fixture: a Pass subclass reading undeclared knobs."""
+
+
+class BasePass:
+    """Stand-in for repro.pipeline.base.Pass (name is what matters)."""
+
+
+class TuningPass(BasePass):
+    def run(self, context):
+        alpha = context.knob("alpha", 0.5)  # clean: declared paper knob
+        magic = context.knob("magic_threshold", 3)  # finding
+        extra = context.knobs.get("magic_extra")  # finding
+        return alpha, magic, extra
+
+
+class NotAPassHelper:
+    def run(self, context):
+        return context.knob("magic_threshold")  # clean: not a Pass

@@ -1,0 +1,13 @@
+"""Clean fixture: the full catalogue has nothing to report here."""
+
+LIMIT = 4
+
+
+def scan(edges, registry):
+    ordered = sorted(set(edges))
+    total = 0
+    for edge in ordered:
+        total += registry.get(edge, 0)
+    if total > LIMIT:
+        raise NotImplementedError("large scans are out of scope")
+    return total

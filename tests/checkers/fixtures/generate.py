@@ -1,0 +1,37 @@
+"""Regenerate the golden checker fixtures' expectations.
+
+Each ``ckNNN.*`` file in this directory is crafted so that exactly one
+CK rule family trips, at known lines; ``expected.json`` records the
+``[[code, line], ...]`` each fixture must produce and
+``tests/checkers/test_rules.py`` pins the runtime results against it.
+Run from the repository root after changing a fixture or a rule::
+
+    PYTHONPATH=src python tests/checkers/fixtures/generate.py
+"""
+
+import json
+import pathlib
+
+from repro.checkers import check_source
+
+HERE = pathlib.Path(__file__).parent
+
+#: Every fixture, in catalogue order (``ck000.txt`` is deliberately not
+#: a ``.py`` file so tooling never tries to parse it).
+FIXTURES = ("ck000.txt", "ck001.py", "ck010.py", "ck011.py", "ck020.py",
+            "ck021.py", "ck030.py", "clean.py")
+
+
+def main():
+    expected = {}
+    for name in FIXTURES:
+        source = (HERE / name).read_text(encoding="utf-8")
+        diagnostics = check_source(source, name, restrict=False)
+        expected[name] = [[d.code, d.line] for d in diagnostics]
+    (HERE / "expected.json").write_text(
+        json.dumps(expected, indent=1) + "\n", encoding="utf-8")
+    print(json.dumps(expected, indent=1))
+
+
+if __name__ == "__main__":
+    main()

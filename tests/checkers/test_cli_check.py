@@ -1,0 +1,151 @@
+"""``python -m repro check`` CLI: exit codes, reporters, baseline."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+TRIP_CK010 = ("_CACHE = {}\n"
+              "\n"
+              "\n"
+              "def remember(key):\n"
+              "    _CACHE[key] = key\n")
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture()
+def tripping_file(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(TRIP_CK010)
+    return target
+
+
+class TestExitCodes:
+    def test_clean_file_exits_0(self, capsys, tmp_path):
+        target = tmp_path / "ok.py"
+        target.write_text("X = 1\n")
+        code, out, _ = run_cli(capsys, ["check", str(target),
+                                        "--no-baseline"])
+        assert code == 0
+        assert "clean: no diagnostics" in out
+
+    def test_findings_exit_1(self, capsys, tripping_file):
+        code, out, _ = run_cli(capsys, ["check", str(tripping_file),
+                                        "--no-baseline"])
+        assert code == 1
+        assert "CK010" in out
+        assert f"{tripping_file}:5" in out
+
+    def test_missing_path_exits_2(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, ["check", str(tmp_path / "gone")])
+        assert code == 2
+        assert "no such file" in err
+
+    def test_unknown_rule_code_exits_2(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, ["check", str(tmp_path),
+                                        "--select", "CK999"])
+        assert code == 2
+        assert "CK999" in err
+
+    def test_select_excludes_other_rules(self, capsys, tripping_file):
+        code, out, _ = run_cli(capsys, [
+            "check", str(tripping_file), "--select", "CK001",
+            "--no-baseline"])
+        assert code == 0
+        assert "clean: no diagnostics" in out
+
+
+class TestJsonReporter:
+    def test_schema(self, capsys, tripping_file):
+        code, out, _ = run_cli(capsys, [
+            "check", str(tripping_file), "--format", "json",
+            "--no-baseline"])
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["version"] == 1
+        assert payload["ok"] is False
+        assert payload["by_rule"] == {"CK010": 1}
+        assert payload["suppressed_baseline"] == 0
+        assert payload["stale_baseline"] == []
+        (diagnostic,) = payload["diagnostics"]
+        assert set(diagnostic) == {"code", "severity", "rule", "message",
+                                   "path", "line", "symbol", "hint"}
+        assert diagnostic["line"] == 5
+        assert diagnostic["symbol"] == "_CACHE"
+
+    def test_output_artifact(self, capsys, tmp_path, tripping_file):
+        artifact = tmp_path / "report.json"
+        code, out, _ = run_cli(capsys, [
+            "check", str(tripping_file), "--output", str(artifact),
+            "--no-baseline"])
+        assert code == 1
+        assert "CK010" in out  # text report still printed
+        payload = json.loads(artifact.read_text())
+        assert payload["by_rule"] == {"CK010": 1}
+
+
+class TestBaselineFlag:
+    def write_baseline(self, tmp_path, justification="import-time only"):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "entries": [
+            {"code": "CK010", "path": "mod.py", "symbol": "_CACHE",
+             "justification": justification}]}))
+        return path
+
+    def test_baseline_suppresses_to_exit_0(self, capsys, tmp_path,
+                                           tripping_file):
+        baseline = self.write_baseline(tmp_path)
+        code, out, _ = run_cli(capsys, [
+            "check", str(tripping_file), "--baseline", str(baseline)])
+        assert code == 0
+        assert "1 finding(s) suppressed by baseline" in out
+
+    def test_no_baseline_overrides(self, capsys, tmp_path, tripping_file):
+        baseline = self.write_baseline(tmp_path)
+        code, _, _ = run_cli(capsys, [
+            "check", str(tripping_file), "--baseline", str(baseline),
+            "--no-baseline"])
+        assert code == 1
+
+    def test_unjustified_baseline_exits_2(self, capsys, tmp_path,
+                                          tripping_file):
+        baseline = self.write_baseline(tmp_path, justification="")
+        code, _, err = run_cli(capsys, [
+            "check", str(tripping_file), "--baseline", str(baseline)])
+        assert code == 2
+        assert "justification" in err
+
+    def test_stale_entry_reported_not_fatal(self, capsys, tmp_path):
+        clean = tmp_path / "ok.py"
+        clean.write_text("X = 1\n")
+        baseline = self.write_baseline(tmp_path)
+        code, out, _ = run_cli(capsys, [
+            "check", str(clean), "--baseline", str(baseline)])
+        assert code == 0
+        assert "stale baseline entry" in out
+
+
+def test_list_rules(capsys):
+    code, out, _ = run_cli(capsys, ["check", "--list-rules"])
+    assert code == 0
+    for expected in ("CK000", "CK001", "CK010", "CK011", "CK020",
+                     "CK021", "CK030"):
+        assert expected in out
+    assert "escape:" in out
+
+
+def test_no_restrict_flag(capsys):
+    code, out, _ = run_cli(capsys, [
+        "check", str(FIXTURES / "ck001.py"), "--no-restrict",
+        "--select", "CK001", "--no-baseline"])
+    assert code == 1
+    assert "CK001" in out

@@ -1,0 +1,165 @@
+"""Engine semantics: dispatch, suppression, selection, baseline."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.checkers import (BaselineEntry, BaselineError, apply_baseline,
+                            check_paths, check_source, load_baseline,
+                            resolve_checkers)
+from repro.lint.diagnostics import Diagnostic
+
+SET_LOOP = "for item in set(values):\n    print(item)\n"
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestSuppression:
+    def test_legacy_det_ok_vets_ck001(self):
+        source = "for item in set(values):  # det: ok\n    print(item)\n"
+        assert check_source(source, "mod.py", restrict=False) == []
+
+    def test_generic_check_ok_vets_any_rule(self):
+        source = "for item in set(values):  # check: ok\n    print(item)\n"
+        assert check_source(source, "mod.py", restrict=False) == []
+
+    def test_scoped_check_ok_vets_only_listed_codes(self):
+        vetted = ("for item in set(values):  # check: ok[CK001]\n"
+                  "    print(item)\n")
+        assert check_source(vetted, "mod.py", restrict=False) == []
+        other = ("for item in set(values):  # check: ok[CK010]\n"
+                 "    print(item)\n")
+        assert codes(check_source(other, "mod.py",
+                                  restrict=False)) == ["CK001"]
+
+
+class TestSelection:
+    def test_select_runs_only_listed_rules(self):
+        source = textwrap.dedent("""\
+            _CACHE = {}
+
+
+            def mutate(key):
+                _CACHE[key] = key
+                for item in set(key):
+                    print(item)
+            """)
+        found = check_source(source, "mod.py",
+                             resolve_checkers(select=("CK010",)),
+                             restrict=False)
+        assert codes(found) == ["CK010"]
+
+    def test_unknown_code_raises_before_scanning(self):
+        with pytest.raises(ValueError, match="CK999"):
+            resolve_checkers(select=("CK999",))
+
+    def test_ignore_removes_rules(self):
+        rules = resolve_checkers(ignore=("CK001",))
+        assert "CK001" not in {r.code for r in rules}
+
+    def test_ck000_fires_even_under_select(self):
+        found = check_source("def broken(:\n", "mod.py",
+                             resolve_checkers(select=("CK010",)),
+                             restrict=False)
+        assert codes(found) == ["CK000"]
+        assert "syntax error" in found[0].message
+
+
+class TestRestriction:
+    def test_ck001_restricted_to_hot_paths(self):
+        assert check_source(SET_LOOP, "src/repro/baselines/x.py") == []
+        assert codes(check_source(
+            SET_LOOP, "src/repro/compiler/x.py")) == ["CK001"]
+
+    def test_restrict_false_scans_everything(self):
+        assert codes(check_source(
+            SET_LOOP, "src/repro/baselines/x.py",
+            restrict=False)) == ["CK001"]
+
+
+class TestCheckPaths:
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no such file"):
+            check_paths([tmp_path / "gone"])
+
+    def test_scans_tree_sorted(self, tmp_path):
+        (tmp_path / "b.py").write_text(SET_LOOP)
+        (tmp_path / "a.py").write_text(SET_LOOP)
+        found = check_paths([tmp_path], select=("CK001",), restrict=False)
+        assert [d.path for d in found] == [str(tmp_path / "a.py"),
+                                           str(tmp_path / "b.py")]
+
+
+def write_baseline(tmp_path, entries):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 1, "entries": entries}))
+    return path
+
+
+class TestBaseline:
+    def test_load_and_match(self, tmp_path):
+        path = write_baseline(tmp_path, [
+            {"code": "CK010", "path": "repro/x.py", "symbol": "_S",
+             "justification": "import-time only"}])
+        (entry,) = load_baseline(path)
+        hit = Diagnostic(code="CK010", severity="error", rule="r",
+                         message="m", path="/abs/src/repro/x.py",
+                         line=3, symbol="_S")
+        miss_symbol = Diagnostic(code="CK010", severity="error", rule="r",
+                                 message="m", path="/abs/src/repro/x.py",
+                                 line=3, symbol="_T")
+        miss_path = Diagnostic(code="CK010", severity="error", rule="r",
+                               message="m", path="src/repro/y.py",
+                               line=3, symbol="_S")
+        remaining, suppressed, stale = apply_baseline(
+            [hit, miss_symbol, miss_path], (entry,))
+        assert remaining == [miss_symbol, miss_path]
+        assert suppressed == 1
+        assert stale == ()
+
+    def test_symbol_free_entry_matches_wholesale(self, tmp_path):
+        path = write_baseline(tmp_path, [
+            {"code": "CK010", "path": "repro/x.py",
+             "justification": "whole file vetted"}])
+        (entry,) = load_baseline(path)
+        assert entry.symbol is None
+        hit = Diagnostic(code="CK010", severity="error", rule="r",
+                         message="m", path="src/repro/x.py", line=1,
+                         symbol="anything")
+        remaining, suppressed, _ = apply_baseline([hit], (entry,))
+        assert remaining == [] and suppressed == 1
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        path = write_baseline(tmp_path, [
+            {"code": "CK010", "path": "repro/fixed.py", "symbol": "_X",
+             "justification": "was true once"}])
+        entries = load_baseline(path)
+        remaining, suppressed, stale = apply_baseline([], entries)
+        assert remaining == [] and suppressed == 0
+        assert [e.path for e in stale] == ["repro/fixed.py"]
+
+    def test_missing_justification_is_an_error(self, tmp_path):
+        path = write_baseline(tmp_path, [
+            {"code": "CK010", "path": "repro/x.py", "justification": "  "}])
+        with pytest.raises(BaselineError, match="justification"):
+            load_baseline(path)
+
+    def test_malformed_baseline_is_an_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            load_baseline(bad)
+        versionless = tmp_path / "versionless.json"
+        versionless.write_text(json.dumps({"entries": []}))
+        with pytest.raises(BaselineError, match="version"):
+            load_baseline(versionless)
+
+    def test_entry_dataclass_matching_uses_posix_suffix(self):
+        entry = BaselineEntry(code="CK010", path="repro/x.py",
+                              justification="j", symbol=None)
+        win = Diagnostic(code="CK010", severity="error", rule="r",
+                         message="m", path="src\\repro\\x.py", line=1)
+        assert entry.matches(win)
