@@ -15,8 +15,76 @@ deltas that :func:`repro.compile_qaoa` stores under
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Callable, Dict, Optional
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+class _ScopeStack(threading.local):
+    """Per-thread stack of open :class:`CacheDeltaScope` objects."""
+
+    def __init__(self) -> None:
+        self.stack: List["CacheDeltaScope"] = []
+
+
+_scopes = _ScopeStack()
+
+
+class CacheDeltaScope:
+    """Exact hit/miss attribution for one unit of work on one thread.
+
+    The historic way to measure a per-compilation cache delta was two
+    :func:`cache_info` snapshots subtracted by :func:`cache_delta`.
+    Those counters are process-global: when two requests compile
+    concurrently in the same process (thread executor, a long-lived
+    serve daemon), their windows interleave and each request's delta
+    absorbs the other's hits.  A scope instead accumulates only the
+    events raised *on the opening thread* while it is open, so
+    concurrent requests can never misattribute each other's traffic —
+    and counters inherited from a forked parent are structurally
+    excluded (a scope starts at zero, not at the inherited totals).
+    """
+
+    __slots__ = ("_deltas",)
+
+    def __init__(self) -> None:
+        self._deltas: Dict[str, List[int]] = {}
+
+    def _bump(self, name: str, slot: int) -> None:
+        bucket = self._deltas.get(name)
+        if bucket is None:
+            bucket = self._deltas[name] = [0, 0]
+        bucket[slot] += 1
+
+    def delta(self) -> Dict[str, Dict[str, int]]:
+        """Per-cache ``{"hits", "misses"}`` observed while open.
+
+        Every registered cache is present (zeros included), matching the
+        shape :func:`cache_delta` produced so downstream schemas are
+        unchanged.
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        for name in sorted(_REGISTRY):
+            bucket = self._deltas.get(name)
+            out[name] = {"hits": bucket[0] if bucket else 0,
+                         "misses": bucket[1] if bucket else 0}
+        return out
+
+
+@contextmanager
+def measure_cache_delta() -> Iterator[CacheDeltaScope]:
+    """Open a :class:`CacheDeltaScope` on the current thread.
+
+    Scopes nest: an inner scope (a single pass) and an outer scope (the
+    whole compilation) both observe the same events.
+    """
+    scope = CacheDeltaScope()
+    _scopes.stack.append(scope)
+    try:
+        yield scope
+    finally:
+        _scopes.stack.remove(scope)
 
 
 class CacheCounter:
@@ -31,9 +99,13 @@ class CacheCounter:
 
     def hit(self) -> None:
         self.hits += 1
+        for scope in _scopes.stack:
+            scope._bump(self.name, 0)
 
     def miss(self) -> None:
         self.misses += 1
+        for scope in _scopes.stack:
+            scope._bump(self.name, 1)
 
     def reset(self) -> None:
         self.hits = 0
@@ -88,6 +160,7 @@ def clear_caches() -> None:
 
 
 _EVENTS: Dict[str, int] = {}
+_EVENTS_LOCK = threading.Lock()
 
 
 def count_event(name: str, n: int = 1) -> None:
@@ -96,18 +169,38 @@ def count_event(name: str, n: int = 1) -> None:
     Events complement the cache counters: anything that wants a cheap
     "how often did X happen in this process" tally — lint runs, rule
     hits, fallbacks — counts here and shows up in :func:`event_info`.
+    Increments are lock-protected so concurrent request handlers (the
+    serve daemon's thread executor) never lose a read-modify-write.
     """
-    _EVENTS[name] = _EVENTS.get(name, 0) + n
+    with _EVENTS_LOCK:
+        _EVENTS[name] = _EVENTS.get(name, 0) + n
 
 
 def event_info() -> Dict[str, int]:
     """Point-in-time snapshot of every event counter, sorted by name."""
-    return dict(sorted(_EVENTS.items()))
+    with _EVENTS_LOCK:
+        return dict(sorted(_EVENTS.items()))
 
 
 def clear_events() -> None:
     """Zero all event counters (test isolation)."""
-    _EVENTS.clear()
+    with _EVENTS_LOCK:
+        _EVENTS.clear()
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100]).
+
+    Plain-python on purpose: latency summaries run inside the serve
+    daemon's event loop, where importing numpy per request would be
+    absurd.  Returns ``0.0`` for an empty sample set.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * len(ordered) + 0.5)) - 1))
+    return ordered[rank]
 
 
 class StageTimer:

@@ -17,12 +17,17 @@ See ``docs/batch.md`` for the full reference.
 """
 
 from ..exceptions import JobTimeoutError
-from .cache import cache_delta, cache_info, clear_caches
+from .cache import (cache_delta, cache_info, clear_caches,
+                    measure_cache_delta)
 from .engine import (BatchReport, JobTimeout, compile_many, default_workers,
                      execute_job, jobs_for, reset_timeout_warning)
 from .jobs import METHODS, WORKLOADS, BatchJob, JobResult, resolve_compiler
+from .pool import POOL_EXECUTORS, PersistentPool
 
 __all__ = [
+    "PersistentPool",
+    "POOL_EXECUTORS",
+    "measure_cache_delta",
     "BatchJob",
     "JobResult",
     "BatchReport",

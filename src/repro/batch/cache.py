@@ -13,11 +13,18 @@ hitting".  The sites:
 
 Caches are per-process: each pool worker warms its own copy (and, under
 the ``fork`` start method, inherits the parent's entries for free).
+
+Per-request attribution uses :func:`measure_cache_delta` — a
+thread-scoped tally that only sees events raised on the opening thread,
+so concurrent requests in one process (thread executor, the serve
+daemon) never absorb each other's hits the way subtracting two global
+:func:`cache_info` snapshots would.
 """
 
 from __future__ import annotations
 
-from .._telemetry import cache_delta, cache_info, clear_caches
+from .._telemetry import (CacheDeltaScope, cache_delta, cache_info,
+                          clear_caches, measure_cache_delta)
 from ..arch.coupling import clear_distance_cache, distance_cache_info
 from ..ata.registry import (clear_pattern_cache, pattern_cache_info,
                             pattern_cache_key)
@@ -25,6 +32,8 @@ from ..ata.registry import (clear_pattern_cache, pattern_cache_info,
 __all__ = [
     "cache_info",
     "cache_delta",
+    "CacheDeltaScope",
+    "measure_cache_delta",
     "clear_caches",
     "distance_cache_info",
     "clear_distance_cache",

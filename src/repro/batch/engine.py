@@ -51,7 +51,7 @@ from types import FrameType
 from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
                     Union)
 
-from .._telemetry import cache_delta, cache_info, count_event
+from .._telemetry import count_event, measure_cache_delta
 from ..exceptions import JobTimeoutError, SpecificationError
 from ..resilience.faults import fault_point, faults_active
 from ..resilience.retry import RetryPolicy, execute_with_retry
@@ -254,31 +254,37 @@ def execute_job(job: BatchJob, timeout_s: Optional[float] = None,
     (each attempt re-arms the full per-job deadline); the per-attempt
     records land in :attr:`JobResult.attempts`.  Without one, a single
     attempt runs with zero retry-machinery overhead.
+
+    The cache delta is measured with a thread-scoped
+    :class:`~repro._telemetry.CacheDeltaScope`, not global-counter
+    snapshots, so concurrent jobs in one process (thread executor, the
+    serve daemon) each see exactly their own hits and misses.
     """
     start = time.perf_counter()
-    before = cache_info()
     scratch: Dict = {}
     try:
         if retry is None:
-            try:
-                record = _run_job(job, timeout_s, scratch)
-                return JobResult(
-                    job=job, ok=True,
-                    wall_time_s=time.perf_counter() - start,
-                    record=record,
-                    cache=cache_delta(before, cache_info()),
-                    lint=scratch.get("lint"))
-            except Exception as exc:  # job failure capture, not batch abort
-                return JobResult(
-                    job=job, ok=False,
-                    wall_time_s=time.perf_counter() - start,
-                    cache=cache_delta(before, cache_info()),
-                    error=str(exc), error_type=type(exc).__name__,
-                    lint=scratch.get("lint"))
-        outcome = execute_with_retry(
-            lambda: _run_job(job, timeout_s, scratch), retry, key=job.name)
+            with measure_cache_delta() as scope:
+                try:
+                    record = _run_job(job, timeout_s, scratch)
+                except Exception as exc:  # job failure, not batch abort
+                    return JobResult(
+                        job=job, ok=False,
+                        wall_time_s=time.perf_counter() - start,
+                        cache=scope.delta(),
+                        error=str(exc), error_type=type(exc).__name__,
+                        lint=scratch.get("lint"))
+            return JobResult(
+                job=job, ok=True,
+                wall_time_s=time.perf_counter() - start,
+                record=record, cache=scope.delta(),
+                lint=scratch.get("lint"))
+        with measure_cache_delta() as scope:
+            outcome = execute_with_retry(
+                lambda: _run_job(job, timeout_s, scratch), retry,
+                key=job.name)
         wall = time.perf_counter() - start
-        cache = cache_delta(before, cache_info())
+        cache = scope.delta()
         if outcome.ok:
             return JobResult(job=job, ok=True, wall_time_s=wall,
                              record=outcome.value, cache=cache,

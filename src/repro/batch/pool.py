@@ -1,0 +1,150 @@
+"""A warm, persistent worker pool for long-lived serving.
+
+``compile_many`` builds a fresh ``ProcessPoolExecutor`` per call, which
+is the right shape for one-shot sweeps but exactly wrong for a daemon:
+every call pays pool spin-up, and the process-local memo caches
+(distance matrices in :mod:`repro.arch.coupling`, ATA patterns in
+:mod:`repro.ata.registry`) die with the workers.  A
+:class:`PersistentPool` is created once and kept hot: workers survive
+across requests, so their caches keep amortizing, and a broken pool
+(worker OOM/segfault/injected kill) is rebuilt in place without losing
+the daemon.
+
+Jobs run through the same :func:`~repro.batch.engine.execute_job` entry
+point as the batch engine — per-job SIGALRM deadlines, retry policies
+and structured failure capture all behave identically.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import (Executor, Future, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
+from typing import Dict, Optional
+
+from .._telemetry import count_event
+from ..exceptions import SpecificationError
+from ..resilience.retry import RetryPolicy
+from .engine import execute_job
+from .jobs import BatchJob, JobResult
+
+#: Executors a persistent pool supports.  ``"serial"`` is deliberately
+#: absent: a daemon must never compile on its event-loop thread, so the
+#: closest equivalent is ``"thread"`` with one worker.
+POOL_EXECUTORS = ("process", "thread")
+
+__all__ = ["POOL_EXECUTORS", "PersistentPool"]
+
+
+def default_pool_workers() -> int:
+    """Pool size when unspecified: every core, floor one."""
+    return os.cpu_count() or 1
+
+
+class PersistentPool:
+    """A restartable, warm worker pool with submission telemetry.
+
+    Thread-safe: :meth:`submit`, :meth:`restart` and :meth:`close` may
+    race (the serve daemon submits from its event loop while a restart
+    recovers from worker death).  Restarting abandons the broken
+    executor — its futures have already failed with ``BrokenExecutor``
+    and the *caller* decides which jobs to resubmit, mirroring the batch
+    engine's resubmission rounds.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 executor: str = "process",
+                 timeout_s: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None) -> None:
+        if executor not in POOL_EXECUTORS:
+            raise SpecificationError(
+                f"unknown pool executor {executor!r}; expected one of "
+                f"{POOL_EXECUTORS}")
+        if workers is None:
+            workers = default_pool_workers()
+        if workers < 1:
+            raise SpecificationError(
+                f"workers must be >= 1 (got {workers})")
+        self.workers = workers
+        self.executor = executor
+        self.timeout_s = timeout_s
+        self.retry = retry
+        self._lock = threading.Lock()
+        self._pool: Optional[Executor] = self._build()
+        #: Jobs handed to a worker (store hits never count here).
+        self.submitted = 0
+        #: Pool rebuilds after breakage.
+        self.restarts = 0
+
+    def _build(self) -> Executor:
+        if self.executor == "process":
+            return ProcessPoolExecutor(max_workers=self.workers)
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+    def submit(self, job: BatchJob) -> "Future[JobResult]":
+        """Dispatch one job to a warm worker; returns its future.
+
+        The future resolves to a :class:`JobResult` (never raises for
+        job failures — those are structured records); it raises
+        ``BrokenExecutor`` if the worker died, after which
+        :meth:`restart` rebuilds the pool.
+        """
+        with self._lock:
+            if self._pool is None:
+                raise SpecificationError(
+                    "pool is closed; build a new PersistentPool")
+            self.submitted += 1
+            count_event("batch.pool_submitted")
+            return self._pool.submit(execute_job, job, self.timeout_s,
+                                     self.retry)
+
+    def restart(self) -> None:
+        """Replace a broken executor with a fresh, cold one.
+
+        Cheap to call redundantly: concurrent callers that both saw the
+        same breakage serialize here and the second rebuild just warms
+        a new pool.  No-op on a closed pool.
+        """
+        with self._lock:
+            if self._pool is None:
+                return
+            old = self._pool
+            self._pool = self._build()
+            self.restarts += 1
+            count_event("batch.pool_restarts")
+        old.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the workers down; idempotent."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._pool is None
+
+    def stats(self) -> Dict[str, object]:
+        """Plain-data pool telemetry for the serve stats endpoint."""
+        return {
+            "workers": self.workers,
+            "executor": self.executor,
+            "submitted": self.submitted,
+            "restarts": self.restarts,
+            "timeout_s": self.timeout_s,
+            "closed": self.closed,
+        }
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return (f"PersistentPool(workers={self.workers}, "
+                f"executor={self.executor!r}, "
+                f"submitted={self.submitted}, restarts={self.restarts})")

@@ -6,6 +6,8 @@ Usage::
     python -m repro compile --arch grid --qubits 16 --method ata --qasm out.qasm
     python -m repro compare --arch sycamore --qubits 32 --density 0.3
     python -m repro batch --arch grid,heavyhex --qubits 24 --count 8 --workers 4
+    python -m repro serve --store .repro-store --workers 4
+    python -m repro serve --stdio --store .repro-store
     python -m repro lint out.json --arch grid --qubits 16 --density 0.3
     python -m repro check src/repro --format json
     python -m repro clique --arch grid --qubits 25
@@ -172,6 +174,33 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="worker-pool rebuilds tolerated after "
                               "worker death (default: 2)")
+
+    serve_p = sub.add_parser(
+        "serve", help="long-lived compile daemon with a warm worker "
+                      "pool and a content-addressed result store")
+    serve_p.add_argument("--store", metavar="DIR", default=".repro-store",
+                         help="result-store directory (default: "
+                              ".repro-store; created if missing)")
+    serve_p.add_argument("--no-store", action="store_true",
+                         help="disable the persistent result store "
+                              "(warm pool + in-flight dedupe only)")
+    serve_p.add_argument("--stdio", action="store_true",
+                         help="serve JSONL requests from stdin instead "
+                              "of HTTP (one JSON object per line)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="HTTP bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="HTTP port (default: 8642; 0 picks an "
+                              "ephemeral port, printed on stderr)")
+    serve_p.add_argument("--workers", type=_positive_int, default=None,
+                         help="warm pool size (default: CPU count)")
+    serve_p.add_argument("--executor", default="process",
+                         choices=["process", "thread"],
+                         help="worker pool flavor (thread: no per-job "
+                              "timeout enforcement; debugging)")
+    serve_p.add_argument("--timeout", type=_positive_float, default=None,
+                         metavar="SECONDS",
+                         help="per-job wall-clock budget in the workers")
 
     lint_p = sub.add_parser(
         "lint", help="statically analyze serialized compiled circuits")
@@ -377,6 +406,22 @@ def _cmd_batch(args) -> int:
     if report.failures:
         return 1
     return 1 if args.lint and report.lint_errors else 0
+
+
+def _cmd_serve(args) -> int:
+    from .exceptions import SpecificationError
+    from .serve import serve_main
+
+    if args.port < 0 or args.port > 65535:
+        print("error: --port must be in [0, 65535]", file=sys.stderr)
+        return 2
+    try:
+        return serve_main(args)
+    except (SpecificationError, OSError) as exc:
+        # Bad pool spec, unbindable port, unwritable store directory —
+        # configuration problems, not serving failures.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _split_codes(text: Optional[str]) -> Optional[List[str]]:
@@ -658,6 +703,7 @@ _COMMANDS = {
     "compile": _cmd_compile,
     "compare": _cmd_compare,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
     "check": _cmd_check,
     "clique": _cmd_clique,

@@ -29,7 +29,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Iterable, List, Optional
 
-from .._telemetry import cache_delta, cache_info
+from .._telemetry import measure_cache_delta
 from ..compiler.result import CompiledResult
 from ..resilience.faults import fault_point
 from .context import CompilationContext
@@ -94,15 +94,15 @@ class Pipeline:
         timings = context.extras.setdefault("timings", {})
         for pass_ in self.passes:
             fault_point("pipeline.pass", pass_.name)
-            before = cache_info()
             started = time.perf_counter()
-            outcome = pass_.run(context)
+            with measure_cache_delta() as scope:
+                outcome = pass_.run(context)
             wall_s = time.perf_counter() - started
             skipped = outcome is False
             record = {
                 "name": pass_.name,
                 "wall_s": wall_s,
-                "cache": cache_delta(before, cache_info()),
+                "cache": scope.delta(),
                 "skipped": skipped,
             }
             records.append(record)
@@ -121,9 +121,9 @@ class Pipeline:
         ``extra["passes"]``.
         """
         started = time.perf_counter()
-        before = cache_info()
-        self.run(context)
-        context.extras["cache"] = cache_delta(before, cache_info())
+        with measure_cache_delta() as scope:
+            self.run(context)
+        context.extras["cache"] = scope.delta()
         return context.to_result(time.perf_counter() - started)
 
     def __repr__(self) -> str:

@@ -24,8 +24,9 @@ See ``docs/resilience.md`` for the full reference.
 
 from .faults import (ENV_VAR, FaultPlan, FaultSpec, active_plan,
                      current_plan, fault_point, faults_active)
-from .journal import (JOURNAL_VERSION, BatchJournal, JournalError,
-                      job_fingerprint)
+from .journal import (FINGERPRINT_VERSION, JOURNAL_VERSION, BatchJournal,
+                      JournalError, atomic_write_bytes, canonical_job_spec,
+                      fsync_dir, job_fingerprint, spec_fingerprint)
 from .retry import (NO_RETRY, RetryOutcome, RetryPolicy, call_with_retry,
                     execute_with_retry)
 
@@ -45,5 +46,10 @@ __all__ = [
     "BatchJournal",
     "JournalError",
     "job_fingerprint",
+    "spec_fingerprint",
+    "canonical_job_spec",
+    "atomic_write_bytes",
+    "fsync_dir",
     "JOURNAL_VERSION",
+    "FINGERPRINT_VERSION",
 ]

@@ -14,6 +14,12 @@ site                      where it fires
 ``pipeline.pass``         before every pipeline pass runs (detail: pass name)
 ``solver.solve``          at entry of :func:`repro.solver.solve_depth_optimal`
 ``solver.expand``         on every solver node expansion
+``serve.request``         in the serve daemon, as each normalized compile
+                          request starts (detail: ``job-name:fingerprint``)
+``serve.store_write``     inside a result-store publish, after the temp file
+                          is written but before the atomic rename (detail:
+                          the fingerprint) — a kill here models a crash
+                          mid-write
 ========================  ====================================================
 
 A :class:`FaultPlan` is a list of :class:`FaultSpec` rules.  Each rule
@@ -79,7 +85,8 @@ ENV_VAR = "REPRO_FAULT_PLAN"
 #: new injection site into a code path.
 KNOWN_SITES: Tuple[str, ...] = ("batch.job", "batch.collect",
                                 "pipeline.pass", "solver.solve",
-                                "solver.expand")
+                                "solver.expand", "serve.request",
+                                "serve.store_write")
 
 ACTIONS = ("raise", "timeout", "sleep", "kill")
 

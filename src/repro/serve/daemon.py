@@ -1,0 +1,251 @@
+"""Long-lived serve daemon: HTTP JSON and stdin-JSONL front-ends.
+
+Both framings are deliberately dependency-free (stdlib ``asyncio``
+only) and funnel into one :class:`~repro.serve.service.CompileService`:
+
+* **stdio mode** (``--stdio``): one JSON request per stdin line, one
+  JSON response per stdout line (correlate by ``id`` — responses may
+  complete out of order because identical requests dedupe in flight).
+  stdout carries protocol lines *only*; the human-facing banner and the
+  final stats summary go to stderr.  EOF on stdin is a clean shutdown.
+* **HTTP mode** (default): a minimal HTTP/1.1 server —
+  ``POST /compile`` (body: request JSON), ``GET /stats``,
+  ``GET /healthz``, ``POST /shutdown``.  Connections are one-shot
+  (``Connection: close``), which keeps the parser honest and is plenty
+  for a compile-serving workload where each response is milliseconds of
+  framing around seconds of work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..batch.pool import PersistentPool
+from .protocol import error_response
+from .service import CompileService
+from .store import ResultStore
+
+#: Largest accepted request body / line, in bytes (a compile spec is
+#: tiny; anything larger is a framing error, not a workload).
+MAX_REQUEST_BYTES = 1 << 20
+
+__all__ = ["MAX_REQUEST_BYTES", "ServeDaemon", "serve_main"]
+
+
+class ServeDaemon:
+    """Owns the service, the front-ends, and the shutdown lifecycle."""
+
+    def __init__(self, service: CompileService) -> None:
+        self.service = service
+        self.shutdown = asyncio.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: "Set[asyncio.Task[None]]" = set()
+
+    def _track(self, task: "asyncio.Task[None]") -> None:
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _drain_tasks(self) -> None:
+        if self._tasks:
+            await asyncio.gather(*tuple(self._tasks),
+                                 return_exceptions=True)
+
+    # -- stdio framing -----------------------------------------------------
+
+    async def run_stdio(self) -> None:
+        """Serve JSONL requests from stdin until EOF or ``shutdown``."""
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader(limit=MAX_REQUEST_BYTES)
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin)
+        write_lock = asyncio.Lock()
+
+        async def respond(doc: Dict[str, Any]) -> None:
+            line = json.dumps(doc, sort_keys=True) + "\n"
+            async with write_lock:
+                sys.stdout.write(line)
+                sys.stdout.flush()
+
+        async def handle_line(raw: bytes) -> None:
+            try:
+                payload = json.loads(raw)
+            except ValueError as exc:
+                await respond(error_response({}, "JSONDecodeError",
+                                             f"bad request line: {exc}"))
+                return
+            if isinstance(payload, dict) \
+                    and payload.get("op") == "shutdown":
+                await respond({"id": payload.get("id"), "ok": True,
+                               "op": "shutdown"})
+                self.shutdown.set()
+                return
+            if not isinstance(payload, dict):
+                await respond(error_response(
+                    {}, "SpecificationError",
+                    "request must be a JSON object"))
+                return
+            await respond(await self.service.handle(payload))
+
+        stop = asyncio.ensure_future(self.shutdown.wait())
+        try:
+            while not self.shutdown.is_set():
+                line_future = asyncio.ensure_future(reader.readline())
+                done, _ = await asyncio.wait(
+                    {line_future, stop},
+                    return_when=asyncio.FIRST_COMPLETED)
+                if line_future not in done:
+                    line_future.cancel()
+                    break
+                raw = line_future.result()
+                if not raw:  # EOF: the driving process is gone
+                    self.shutdown.set()
+                    break
+                if not raw.strip():
+                    continue
+                self._track(asyncio.ensure_future(handle_line(raw)))
+            await self._drain_tasks()
+        finally:
+            stop.cancel()
+
+    # -- HTTP framing ------------------------------------------------------
+
+    async def run_http(self, host: str, port: int) -> Tuple[str, int]:
+        """Start the HTTP server; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_http_connection, host, port)
+        sockets = self._server.sockets or ()
+        bound = sockets[0].getsockname() if sockets else (host, port)
+        return str(bound[0]), int(bound[1])
+
+    async def serve_http_forever(self) -> None:
+        """Block until shutdown, then close the server and drain."""
+        assert self._server is not None, "run_http() first"
+        await self.shutdown.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        await self._drain_tasks()
+
+    async def _handle_http_connection(self, reader: asyncio.StreamReader,
+                                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, doc = await self._http_response(reader)
+            body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+            writer.write(
+                b"HTTP/1.1 " + status.encode("ascii") + b"\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(body)).encode("ascii")
+                + b"\r\nConnection: close\r\n\r\n" + body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _http_response(
+            self, reader: asyncio.StreamReader,
+    ) -> Tuple[str, Dict[str, Any]]:
+        """Parse one request and produce ``(status line, JSON body)``."""
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=30.0)
+        except (asyncio.LimitOverrunError, asyncio.TimeoutError) as exc:
+            return "400 Bad Request", error_response(
+                {}, "ProtocolError", f"unreadable request head: {exc}")
+        request_line, _, header_block = head.partition(b"\r\n")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return "400 Bad Request", error_response(
+                {}, "ProtocolError", "malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        for header in header_block.split(b"\r\n"):
+            name, _, value = header.partition(b":")
+            if name.strip().lower() == b"content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return "400 Bad Request", error_response(
+                        {}, "ProtocolError", "bad Content-Length")
+        if content_length > MAX_REQUEST_BYTES:
+            return "413 Payload Too Large", error_response(
+                {}, "ProtocolError",
+                f"body exceeds {MAX_REQUEST_BYTES} bytes")
+        body = await reader.readexactly(content_length) \
+            if content_length else b""
+
+        if method == "GET" and path == "/healthz":
+            return "200 OK", {"ok": True}
+        if method == "GET" and path == "/stats":
+            return "200 OK", {"ok": True,
+                              "stats": self.service.stats_payload()}
+        if method == "POST" and path == "/shutdown":
+            self.shutdown.set()
+            return "200 OK", {"ok": True, "op": "shutdown"}
+        if method == "POST" and path == "/compile":
+            try:
+                payload = json.loads(body) if body else {}
+            except ValueError as exc:
+                return "400 Bad Request", error_response(
+                    {}, "JSONDecodeError", f"bad request body: {exc}")
+            if not isinstance(payload, dict):
+                return "400 Bad Request", error_response(
+                    {}, "SpecificationError",
+                    "request must be a JSON object")
+            response = await self.service.handle(payload)
+            status = "200 OK" if response.get("ok") \
+                or "result" in response else "422 Unprocessable Entity"
+            return status, response
+        return "404 Not Found", error_response(
+            {}, "ProtocolError", f"no route for {method} {path}")
+
+
+def _log(message: str) -> None:
+    print(message, file=sys.stderr, flush=True)
+
+
+async def _amain(args: Any) -> int:
+    store: Optional[ResultStore] = None
+    if not args.no_store:
+        store = ResultStore(args.store)
+        removed = store.sweep_temp_files()
+        if removed:
+            _log(f"serve: swept {removed} orphaned temp file(s) "
+                 f"from {store.root}")
+    pool = PersistentPool(workers=args.workers, executor=args.executor,
+                          timeout_s=args.timeout)
+    service = CompileService(pool, store)
+    daemon = ServeDaemon(service)
+    store_note = str(store.root) if store is not None else "disabled"
+    try:
+        if args.stdio:
+            _log(f"serve: reading JSONL requests from stdin "
+                 f"(store: {store_note}, {pool.workers} "
+                 f"{pool.executor} worker(s))")
+            await daemon.run_stdio()
+        else:
+            host, port = await daemon.run_http(args.host, args.port)
+            _log(f"serve: http listening on {host}:{port} "
+                 f"(store: {store_note}, {pool.workers} "
+                 f"{pool.executor} worker(s))")
+            await daemon.serve_http_forever()
+    finally:
+        service.close()
+        _log("serve: shutdown — "
+             + json.dumps(service.stats_payload(), sort_keys=True))
+    return 0
+
+
+def serve_main(args: Any) -> int:
+    """Entry point for ``python -m repro serve`` (returns exit code)."""
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        _log("serve: interrupted")
+        return 130

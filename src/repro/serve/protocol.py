@@ -1,0 +1,152 @@
+"""Request/response envelopes for the serve daemon.
+
+Both front-ends (HTTP JSON and stdin-JSONL) speak the same flat JSON
+request format, normalized here into the engine's :class:`BatchJob`
+spec.  Normalization is strict — an unknown key is an error, not
+silently ignored — because a typo'd knob that falls on the floor would
+*look* cached-and-correct while compiling the wrong thing.
+
+Request (all fields optional except ``arch``/``qubits``)::
+
+    {"id": 7, "op": "compile", "arch": "grid", "qubits": 16,
+     "workload": "rand", "density": 0.3, "seed": 0, "method": "hybrid",
+     "gamma": 0.0, "layers": 1, "mixer": "rx", "noise": false,
+     "validate": true, "lint": false, "label": null,
+     "options": {"max_predictions": 8}}
+
+``qubits``/``n_qubits`` and ``noise``/``use_noise`` are accepted as
+aliases.  ``op`` defaults to ``"compile"``; the daemon also understands
+``"stats"``, ``"ping"`` and ``"shutdown"``.
+
+Response::
+
+    {"id": 7, "ok": true, "fingerprint": "...", "job": "grid/...",
+     "served_from": "store" | "compiled" | "inflight",
+     "serve_ms": 1.93, "result": {... JobResult.to_json() ...}}
+
+``result`` is byte-for-byte the payload a cold compile produces — a
+store or in-flight hit returns the identical document.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..batch.jobs import BatchJob
+from ..exceptions import SpecificationError
+
+#: Protocol version stamped into every response envelope.
+PROTOCOL_VERSION = 1
+
+#: Ways a compile response can be produced.
+SERVED_FROM = ("store", "compiled", "inflight")
+
+#: Request operations the daemon understands.
+OPS = ("compile", "stats", "ping", "shutdown")
+
+#: Request key -> BatchJob field (aliases included).
+_FIELD_ALIASES: Dict[str, str] = {
+    "arch": "arch",
+    "qubits": "n_qubits",
+    "n_qubits": "n_qubits",
+    "workload": "workload",
+    "density": "density",
+    "seed": "seed",
+    "method": "method",
+    "gamma": "gamma",
+    "layers": "layers",
+    "mixer": "mixer",
+    "noise": "use_noise",
+    "use_noise": "use_noise",
+    "validate": "validate",
+    "lint": "lint",
+    "label": "label",
+}
+
+#: Envelope keys that are not job-spec fields.
+_ENVELOPE_KEYS = frozenset({"id", "op", "options"})
+
+__all__ = ["OPS", "PROTOCOL_VERSION", "SERVED_FROM", "error_response",
+           "normalize_request", "request_id", "request_op",
+           "result_response"]
+
+
+def request_op(payload: Dict[str, Any]) -> str:
+    """The operation a request asks for (``"compile"`` by default)."""
+    op = payload.get("op", "compile")
+    if not isinstance(op, str) or op not in OPS:
+        raise SpecificationError(
+            f"unknown op {op!r}; expected one of {OPS}")
+    return op
+
+
+def request_id(payload: Dict[str, Any]) -> Optional[object]:
+    """The caller's correlation id, echoed verbatim in the response."""
+    return payload.get("id")
+
+
+def normalize_request(payload: Dict[str, Any]) -> BatchJob:
+    """A compile request dict -> validated :class:`BatchJob`.
+
+    Raises :class:`~repro.exceptions.SpecificationError` for unknown
+    keys, malformed options, or any spec the job constructor rejects
+    (unknown arch/method/workload, out-of-range density...).
+    """
+    if not isinstance(payload, dict):
+        raise SpecificationError("request must be a JSON object")
+    fields: Dict[str, Any] = {}
+    for key, value in payload.items():
+        if key in _ENVELOPE_KEYS:
+            continue
+        field = _FIELD_ALIASES.get(key)
+        if field is None:
+            raise SpecificationError(
+                f"unknown request key {key!r}; expected one of "
+                f"{sorted(set(_FIELD_ALIASES) | set(_ENVELOPE_KEYS))}")
+        if field in fields and fields[field] != value:
+            raise SpecificationError(
+                f"conflicting aliases for {field!r} in request")
+        fields[field] = value
+    if "arch" not in fields:
+        raise SpecificationError("request needs an 'arch'")
+    if "n_qubits" not in fields:
+        raise SpecificationError("request needs a 'qubits' count")
+    options = payload.get("options", {})
+    if options is None:
+        options = {}
+    if not isinstance(options, dict):
+        raise SpecificationError("'options' must be a JSON object")
+    fields["options"] = tuple(sorted(options.items()))
+    try:
+        return BatchJob(**fields)
+    except TypeError as exc:
+        raise SpecificationError(f"malformed request: {exc}") from exc
+
+
+def result_response(payload: Dict[str, Any], fingerprint: str,
+                    job_name: str, served_from: str, serve_ms: float,
+                    result: Dict[str, Any]) -> Dict[str, Any]:
+    """The success envelope for one compile request."""
+    assert served_from in SERVED_FROM
+    return {
+        "version": PROTOCOL_VERSION,
+        "id": request_id(payload),
+        "ok": bool(result.get("ok")),
+        "fingerprint": fingerprint,
+        "job": job_name,
+        "served_from": served_from,
+        "serve_ms": serve_ms,
+        "result": result,
+    }
+
+
+def error_response(payload: Dict[str, Any], error_type: str,
+                   message: str) -> Dict[str, Any]:
+    """The request-level failure envelope (bad spec, daemon error)."""
+    return {
+        "version": PROTOCOL_VERSION,
+        "id": request_id(payload) if isinstance(payload, dict) else None,
+        "ok": False,
+        "error_type": error_type,
+        "error": message,
+    }

@@ -1,0 +1,98 @@
+"""Thread-scoped cache-delta attribution.
+
+The historic per-compilation cache delta subtracted two process-global
+snapshots; under concurrency (thread executor, the serve daemon) the
+windows interleave and each request absorbs the other's hits.  A
+:class:`CacheDeltaScope` accumulates only events raised on its opening
+thread, so attribution is exact by construction — these tests pin that.
+"""
+
+import threading
+
+import pytest
+
+from repro._telemetry import (_REGISTRY, CacheCounter, cache_info,
+                              measure_cache_delta, register_cache)
+
+
+@pytest.fixture
+def counter():
+    """A registered throwaway cache counter, unregistered on teardown."""
+    name = "test_scope_cache"
+    counter = register_cache(name, CacheCounter(name),
+                             size_fn=lambda: 0, clear_fn=lambda: None)
+    try:
+        yield counter
+    finally:
+        _REGISTRY.pop(name, None)
+
+
+class TestScopeSemantics:
+    def test_delta_covers_every_registered_cache_with_zeros(self):
+        with measure_cache_delta() as scope:
+            pass
+        delta = scope.delta()
+        assert set(delta) == set(cache_info())
+        assert all(d == {"hits": 0, "misses": 0} for d in delta.values())
+
+    def test_scope_observes_own_thread_events(self, counter):
+        name = counter.name
+        with measure_cache_delta() as scope:
+            counter.hit()
+            counter.miss()
+            counter.miss()
+        assert scope.delta()[name] == {"hits": 1, "misses": 2}
+
+    def test_events_outside_the_scope_are_not_attributed(self, counter):
+        name = counter.name
+        counter.hit()
+        with measure_cache_delta() as scope:
+            pass
+        counter.hit()
+        assert scope.delta()[name] == {"hits": 0, "misses": 0}
+
+    def test_nested_scopes_both_observe(self, counter):
+        name = counter.name
+        with measure_cache_delta() as outer:
+            counter.miss()
+            with measure_cache_delta() as inner:
+                counter.hit()
+        assert outer.delta()[name] == {"hits": 1, "misses": 1}
+        assert inner.delta()[name] == {"hits": 1, "misses": 0}
+
+
+class TestThreadIsolation:
+    def test_other_threads_do_not_pollute_an_open_scope(self, counter):
+        name = counter.name
+        with measure_cache_delta() as scope:
+            other = threading.Thread(target=counter.hit)
+            other.start()
+            other.join()
+            counter.miss()
+        # The other thread's hit bumped the global counter but not this
+        # scope — exactly the misattribution the old snapshots had.
+        assert scope.delta()[name] == {"hits": 0, "misses": 1}
+
+    def test_concurrent_scopes_attribute_exactly(self, counter):
+        name = counter.name
+        barrier = threading.Barrier(2)
+        deltas = {}
+
+        def work(key, hits, misses):
+            with measure_cache_delta() as scope:
+                barrier.wait()  # both scopes provably open at once
+                for _ in range(hits):
+                    counter.hit()
+                for _ in range(misses):
+                    counter.miss()
+                barrier.wait()
+                deltas[key] = scope.delta()[name]
+
+        threads = [threading.Thread(target=work, args=("a", 3, 1)),
+                   threading.Thread(target=work, args=("b", 0, 5))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert deltas["a"] == {"hits": 3, "misses": 1}
+        assert deltas["b"] == {"hits": 0, "misses": 5}

@@ -56,4 +56,5 @@ def test_fault_sites_registry_matches_module_table():
     from repro.resilience.faults import KNOWN_SITES
 
     assert KNOWN_SITES == ("batch.job", "batch.collect", "pipeline.pass",
-                           "solver.solve", "solver.expand")
+                           "solver.solve", "solver.expand",
+                           "serve.request", "serve.store_write")

@@ -1,0 +1,98 @@
+"""Durability plumbing: directory fsync and atomic publication.
+
+``fsync`` on a file descriptor makes *contents* durable; the file's
+existence lives in the parent directory and needs its own fsync.  These
+tests pin the two fixes: the journal fsyncs its parent directory on
+creation, and :func:`atomic_write_bytes` publishes all-or-nothing.
+"""
+
+import os
+
+import pytest
+
+from repro.batch.jobs import BatchJob
+from repro.resilience import journal as journal_mod
+from repro.resilience.journal import (BatchJournal, atomic_write_bytes,
+                                      fsync_dir)
+
+JOBS = [BatchJob(arch="grid", n_qubits=4, method="greedy")]
+
+
+class TestFsyncDir:
+    def test_fsyncs_a_real_directory(self, tmp_path):
+        fsync_dir(tmp_path)  # must not raise
+
+    def test_degrades_to_noop_on_unopenable_path(self, tmp_path):
+        fsync_dir(tmp_path / "does-not-exist")  # must not raise
+
+
+class TestJournalCreationDurability:
+    def test_new_journal_fsyncs_parent_dir(self, tmp_path, monkeypatch):
+        synced = []
+        monkeypatch.setattr(journal_mod, "fsync_dir",
+                            lambda path: synced.append(os.fspath(path)))
+        with BatchJournal(tmp_path / "sweep.jsonl", JOBS):
+            pass
+        assert synced == [os.fspath(tmp_path)]
+
+    def test_existing_journal_skips_the_dir_fsync(self, tmp_path,
+                                                  monkeypatch):
+        path = tmp_path / "sweep.jsonl"
+        with BatchJournal(path, JOBS):
+            pass
+        synced = []
+        monkeypatch.setattr(journal_mod, "fsync_dir",
+                            lambda p: synced.append(os.fspath(p)))
+        with BatchJournal(path, JOBS):  # truncates, file already present
+            pass
+        assert synced == []
+
+
+class TestAtomicWriteBytes:
+    def test_round_trip_and_no_temp_leftovers(self, tmp_path):
+        target = tmp_path / "entry.json"
+        atomic_write_bytes(target, b"first")
+        assert target.read_bytes() == b"first"
+        atomic_write_bytes(target, b"second")
+        assert target.read_bytes() == b"second"
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_failed_replace_cleans_up_and_keeps_old_content(
+            self, tmp_path, monkeypatch):
+        target = tmp_path / "entry.json"
+        atomic_write_bytes(target, b"old")
+
+        def boom(src, dst):
+            raise OSError("injected replace failure")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="injected"):
+            atomic_write_bytes(target, b"new")
+        monkeypatch.undo()
+        assert target.read_bytes() == b"old"
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_publish_hook_runs_in_the_crash_window(self, tmp_path):
+        target = tmp_path / "entry.json"
+        seen = {}
+
+        def hook():
+            # The temp file exists and is complete; the target does not.
+            tmp = list(tmp_path.glob("*.tmp.*"))
+            seen["tmp_content"] = tmp[0].read_bytes() if tmp else None
+            seen["target_exists"] = target.exists()
+
+        atomic_write_bytes(target, b"payload", publish_hook=hook)
+        assert seen == {"tmp_content": b"payload", "target_exists": False}
+        assert target.read_bytes() == b"payload"
+
+    def test_raising_hook_leaves_orphaned_temp_not_target(self, tmp_path):
+        target = tmp_path / "entry.json"
+
+        def hook():
+            raise RuntimeError("crash mid-publish")
+
+        with pytest.raises(RuntimeError):
+            atomic_write_bytes(target, b"payload", publish_hook=hook)
+        assert not target.exists()
+        assert len(list(tmp_path.glob("*.tmp.*"))) == 1

@@ -1,0 +1,124 @@
+"""End-to-end daemon tests over the stdin-JSONL framing.
+
+Each test drives a real ``python -m repro serve --stdio`` subprocess:
+requests go in as JSONL on stdin, responses come back on stdout
+(correlated by ``id`` — identical in-flight requests dedupe, so order
+is not guaranteed), and the banner/stats go to stderr.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.resilience.faults import ENV_VAR, FaultPlan, FaultSpec
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+COMPILE = {"op": "compile", "arch": "grid", "qubits": 8,
+           "method": "greedy", "seed": 0}
+
+
+def run_daemon(tmp_path, requests, fault_env=None, timeout=120):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop(ENV_VAR, None)
+    if fault_env is not None:
+        env[ENV_VAR] = fault_env
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--stdio",
+         "--store", str(tmp_path / "store"),
+         "--executor", "thread", "--workers", "2"],
+        input="".join(json.dumps(r) + "\n" for r in requests),
+        env=env, cwd=tmp_path, capture_output=True, text=True,
+        timeout=timeout)
+    responses = {}
+    for line in proc.stdout.splitlines():
+        doc = json.loads(line)
+        responses[doc.get("id")] = doc
+    return proc, responses
+
+
+class TestStdioEndToEnd:
+    def test_cold_then_store_across_daemon_restarts(self, tmp_path):
+        requests = [{**COMPILE, "id": 1}, {"op": "stats", "id": 2},
+                    {"op": "shutdown", "id": 3}]
+
+        proc1, cold = run_daemon(tmp_path, requests)
+        assert proc1.returncode == 0, proc1.stderr
+        assert cold[1]["ok"] and cold[1]["served_from"] == "compiled"
+        assert cold[3] == {"id": 3, "ok": True, "op": "shutdown"}
+
+        proc2, warm = run_daemon(tmp_path, requests)
+        assert proc2.returncode == 0, proc2.stderr
+        assert warm[1]["ok"] and warm[1]["served_from"] == "store"
+        assert json.dumps(cold[1]["result"], sort_keys=True) \
+            == json.dumps(warm[1]["result"], sort_keys=True)
+        assert warm[2]["stats"]["store_hits"] == 1
+        assert warm[2]["stats"]["store_hit_rate"] == 1.0
+
+    def test_identical_inflight_requests_compile_once(self, tmp_path):
+        proc, responses = run_daemon(tmp_path, [
+            {**COMPILE, "id": 1}, {**COMPILE, "id": 2},
+            {"op": "shutdown", "id": 3}])
+        assert proc.returncode == 0, proc.stderr
+        served = sorted([responses[1]["served_from"],
+                         responses[2]["served_from"]])
+        assert served == ["compiled", "inflight"]
+        assert json.dumps(responses[1]["result"], sort_keys=True) \
+            == json.dumps(responses[2]["result"], sort_keys=True)
+
+    def test_eof_is_a_clean_shutdown(self, tmp_path):
+        proc, responses = run_daemon(tmp_path, [{**COMPILE, "id": 1}])
+        assert proc.returncode == 0, proc.stderr
+        assert responses[1]["ok"]
+        assert "serve: shutdown" in proc.stderr
+
+    def test_bad_lines_answer_errors_and_daemon_survives(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--stdio",
+             "--no-store", "--executor", "thread", "--workers", "1"],
+            input='not json at all\n'
+                  + json.dumps({"op": "ping", "id": 1}) + "\n"
+                  + json.dumps({"op": "shutdown", "id": 2}) + "\n",
+            env=env, cwd=tmp_path, capture_output=True, text=True,
+            timeout=60)
+        assert proc.returncode == 0, proc.stderr
+        docs = [json.loads(line) for line in proc.stdout.splitlines()]
+        errors = [d for d in docs if d.get("error_type")]
+        assert errors and errors[0]["error_type"] == "JSONDecodeError"
+        assert {"id": 1, "ok": True, "op": "ping"} in docs
+
+
+class TestCrashMidStoreWrite:
+    def test_kill_leaves_a_recoverable_store(self, tmp_path):
+        plan = FaultPlan([FaultSpec(site="serve.store_write",
+                                    action="kill", exit_code=134)])
+        proc, _ = run_daemon(tmp_path, [{**COMPILE, "id": 1}],
+                             fault_env=plan.to_env())
+        assert proc.returncode == 134
+
+        # Crash window: temp file written and fsynced, rename never ran.
+        store_root = tmp_path / "store"
+        temps = list(store_root.glob("*/*.tmp.*"))
+        entries = list(store_root.glob("*/*.json"))
+        assert len(temps) == 1 and entries == []
+
+        # A fresh daemon sweeps the orphan, recompiles, publishes.
+        proc2, responses = run_daemon(tmp_path, [
+            {**COMPILE, "id": 1}, {"op": "shutdown", "id": 2}])
+        assert proc2.returncode == 0, proc2.stderr
+        assert "swept 1 orphaned temp file(s)" in proc2.stderr
+        assert responses[1]["ok"]
+        assert responses[1]["served_from"] == "compiled"
+        assert list(store_root.glob("*/*.tmp.*")) == []
+        assert len(list(store_root.glob("*/*.json"))) == 1
+
+        # ...and the healed entry serves the repeat request.
+        proc3, warm = run_daemon(tmp_path, [
+            {**COMPILE, "id": 1}, {"op": "shutdown", "id": 2}])
+        assert proc3.returncode == 0, proc3.stderr
+        assert warm[1]["served_from"] == "store"

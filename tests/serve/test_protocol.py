@@ -1,0 +1,119 @@
+"""Request normalization and response envelopes."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.serve.protocol import (error_response, normalize_request,
+                                  request_op, result_response)
+
+BASE = {"arch": "grid", "qubits": 8}
+
+
+class TestRequestOp:
+    def test_defaults_to_compile(self):
+        assert request_op(BASE) == "compile"
+
+    @pytest.mark.parametrize("op", ["stats", "ping", "shutdown"])
+    def test_known_ops(self, op):
+        assert request_op({"op": op}) == op
+
+    @pytest.mark.parametrize("op", ["frobnicate", 7, None])
+    def test_unknown_op_is_an_error(self, op):
+        with pytest.raises(SpecificationError, match="unknown op"):
+            request_op({"op": op})
+
+
+class TestNormalizeRequest:
+    def test_minimal_request(self):
+        job = normalize_request(dict(BASE))
+        assert (job.arch, job.n_qubits) == ("grid", 8)
+        assert job.options == ()
+
+    def test_envelope_keys_are_not_spec_fields(self):
+        job = normalize_request({**BASE, "id": 42, "op": "compile"})
+        assert job == normalize_request(dict(BASE))
+
+    @pytest.mark.parametrize("alias,canonical,value", [
+        ("qubits", "n_qubits", 8),
+        ("n_qubits", "n_qubits", 8),
+        ("noise", "use_noise", True),
+        ("use_noise", "use_noise", True),
+    ])
+    def test_aliases(self, alias, canonical, value):
+        payload = {"arch": "grid", "qubits": 8}
+        payload.pop("qubits" if canonical == "n_qubits" else "", None)
+        payload[alias] = value
+        job = normalize_request(payload)
+        assert getattr(job, canonical) == value
+
+    def test_agreeing_aliases_are_accepted(self):
+        job = normalize_request({"arch": "grid", "qubits": 8,
+                                 "n_qubits": 8})
+        assert job.n_qubits == 8
+
+    def test_conflicting_aliases_are_rejected(self):
+        with pytest.raises(SpecificationError, match="conflicting"):
+            normalize_request({"arch": "grid", "qubits": 8,
+                               "n_qubits": 16})
+
+    def test_unknown_key_is_an_error_not_ignored(self):
+        with pytest.raises(SpecificationError, match="unknown request key"):
+            normalize_request({**BASE, "sede": 3})  # typo'd "seed"
+
+    @pytest.mark.parametrize("missing,needle", [
+        ({"qubits": 8}, "arch"),
+        ({"arch": "grid"}, "qubits"),
+    ])
+    def test_missing_required_fields(self, missing, needle):
+        with pytest.raises(SpecificationError, match=needle):
+            normalize_request(dict(missing))
+
+    def test_options_become_a_sorted_tuple(self):
+        job = normalize_request({**BASE, "options": {"b": 2, "a": 1}})
+        assert job.options == (("a", 1), ("b", 2))
+
+    def test_null_options_mean_no_options(self):
+        assert normalize_request({**BASE, "options": None}).options == ()
+
+    def test_non_object_options_are_rejected(self):
+        with pytest.raises(SpecificationError, match="options"):
+            normalize_request({**BASE, "options": [1, 2]})
+
+    def test_non_object_request_is_rejected(self):
+        with pytest.raises(SpecificationError, match="JSON object"):
+            normalize_request(["not", "a", "dict"])
+
+    def test_bad_field_type_becomes_a_specification_error(self):
+        with pytest.raises(SpecificationError):
+            normalize_request({"arch": "grid", "qubits": "eight"})
+
+    def test_job_validation_errors_propagate(self):
+        with pytest.raises(SpecificationError, match="workload"):
+            normalize_request({**BASE, "workload": "maxcut"})
+
+    def test_label_passes_through(self):
+        job = normalize_request({**BASE, "label": "mine"})
+        assert job.label == "mine" and job.name == "mine"
+
+
+class TestEnvelopes:
+    def test_result_response_echoes_id_and_stamps_version(self):
+        doc = result_response({"id": 9}, "f" * 64, "grid/x", "store",
+                              1.25, {"ok": True})
+        assert doc["id"] == 9 and doc["ok"] is True
+        assert doc["served_from"] == "store"
+        assert doc["version"] == 1
+        assert doc["fingerprint"] == "f" * 64
+
+    def test_result_response_reflects_failed_results(self):
+        doc = result_response({}, "f" * 64, "grid/x", "compiled", 1.0,
+                              {"ok": False})
+        assert doc["ok"] is False
+
+    def test_error_response_shape(self):
+        doc = error_response({"id": 3}, "SpecificationError", "nope")
+        assert doc == {"version": 1, "id": 3, "ok": False,
+                       "error_type": "SpecificationError", "error": "nope"}
+
+    def test_error_response_tolerates_non_dict_payloads(self):
+        assert error_response("garbage", "X", "y")["id"] is None

@@ -1,0 +1,125 @@
+"""The content-addressed result store: durability and skeptical reads."""
+
+import json
+
+import pytest
+
+from repro._telemetry import clear_events, event_info
+from repro.batch.jobs import BatchJob, JobResult
+from repro.resilience.faults import FaultPlan, FaultSpec, active_plan
+from repro.resilience.journal import spec_fingerprint
+from repro.serve.store import STORE_VERSION, ResultStore
+
+JOB = BatchJob(arch="grid", n_qubits=8, method="greedy")
+FP = spec_fingerprint(JOB)
+
+
+def ok_result(depth=3):
+    return JobResult(job=JOB, ok=True, wall_time_s=0.25,
+                     record={"depth": depth, "cx": 7},
+                     cache={"pattern": {"hits": 1, "misses": 2}})
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_put_get_round_trip_is_exact(self, store):
+        result = ok_result()
+        assert store.put(FP, JOB, result) is True
+        loaded = store.get_result(JOB, FP)
+        assert loaded is not None
+        assert json.dumps(loaded.to_json(), sort_keys=True) \
+            == json.dumps(result.to_json(), sort_keys=True)
+
+    def test_entries_are_sharded_by_fingerprint_prefix(self, store):
+        store.put(FP, JOB, ok_result())
+        path = store.path_for(FP)
+        assert path.exists()
+        assert path.parent.name == FP[:2]
+
+    def test_failed_results_are_refused(self, store):
+        failed = JobResult(job=JOB, ok=False, error="boom",
+                           error_type="CompilationError")
+        assert store.put(FP, JOB, failed) is False
+        assert store.get(FP) is None
+        assert store.count_entries() == 0
+
+    def test_missing_entry_is_a_quiet_miss(self, store):
+        assert store.get("0" * 64) is None
+        assert store.get_result(JOB, "0" * 64) is None
+
+
+class TestSkepticalReads:
+    def test_truncated_json_degrades_to_a_counted_miss(self, store):
+        store.put(FP, JOB, ok_result())
+        path = store.path_for(FP)
+        path.write_bytes(path.read_bytes()[:20])
+        clear_events()
+        assert store.get(FP) is None
+        assert event_info().get("serve.store_corrupt") == 1
+
+    def test_version_skew_degrades_to_a_miss(self, store):
+        store.put(FP, JOB, ok_result())
+        path = store.path_for(FP)
+        doc = json.loads(path.read_bytes())
+        doc["version"] = STORE_VERSION + 1
+        path.write_text(json.dumps(doc))
+        assert store.get(FP) is None
+
+    def test_fingerprint_mismatch_degrades_to_a_miss(self, store):
+        # An entry renamed (or hard-linked) to the wrong address must
+        # never be served for it.
+        store.put(FP, JOB, ok_result())
+        other = "ab" + "0" * 62
+        target = store.path_for(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(store.path_for(FP).read_bytes())
+        assert store.get(other) is None
+
+    def test_corruption_heals_on_the_next_put(self, store):
+        store.put(FP, JOB, ok_result())
+        store.path_for(FP).write_text("{garbage")
+        assert store.get(FP) is None
+        store.put(FP, JOB, ok_result())
+        assert store.get_result(JOB, FP) is not None
+
+
+class TestCrashRecovery:
+    PLAN = [FaultSpec(site="serve.store_write", action="raise",
+                      error="runtime")]
+
+    def test_fault_mid_publish_leaves_a_recoverable_store(self, store):
+        # The serve.store_write site fires *between* the temp-file fsync
+        # and the atomic rename — the narrowest crash window.
+        with active_plan(FaultPlan(self.PLAN)):
+            with pytest.raises(RuntimeError, match="injected"):
+                store.put(FP, JOB, ok_result())
+        assert store.get(FP) is None
+        assert store.count_entries() == 0
+        # The orphaned temp file is swept, then a clean retry publishes.
+        assert store.sweep_temp_files() == 1
+        assert store.put(FP, JOB, ok_result()) is True
+        assert store.get_result(JOB, FP) is not None
+
+    def test_sweep_ignores_published_entries(self, store):
+        store.put(FP, JOB, ok_result())
+        assert store.sweep_temp_files() == 0
+        assert store.count_entries() == 1
+
+
+class TestInventory:
+    def test_iter_count_and_stats(self, store):
+        assert store.count_entries() == 0
+        store.put(FP, JOB, ok_result())
+        assert list(store.iter_fingerprints()) == [FP]
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] == store.path_for(FP).stat().st_size
+
+    def test_empty_store_is_not_falsy(self, store):
+        # `if store` guards mean "is a store configured"; an empty store
+        # silently disabling itself was a real bug.
+        assert bool(store) is True
